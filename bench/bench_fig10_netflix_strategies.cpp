@@ -1,0 +1,76 @@
+// Figure 10 — Streaming strategies used by Netflix.
+//
+// (a) PC and iPad: short ON-OFF cycles (download-amount evolution over the
+//     first 100 s, Academic network).
+// (b) Android: long ON-OFF cycles (first 150 s).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+streaming::SessionConfig config(Application app, std::uint64_t seed) {
+  video::VideoMeta v;
+  v.id = "fig10";
+  v.duration_s = 3600.0;
+  v.encoding_bps = video::netflix_rate_ladder().back();
+  v.container = Container::kSilverlight;
+  v.available_rates_bps = video::netflix_rate_ladder();
+  return bench::make_config(Service::kNetflix, Container::kSilverlight, app,
+                            net::Vantage::kAcademic, v, seed);
+}
+
+void print_reproduction() {
+  bench::print_header("Figure 10 -- Netflix streaming strategies",
+                      "Rao et al., CoNEXT 2011, Fig 10(a)/(b)");
+
+  const auto pc = bench::run_and_analyze(config(Application::kInternetExplorer, 41));
+  const auto ipad = bench::run_and_analyze(config(Application::kIosNative, 42));
+  const auto android = bench::run_and_analyze(config(Application::kAndroidNative, 43));
+
+  std::printf("(a) short ON-OFF cycles: PC and iPad (Academic network)\n\n");
+  bench::print_download_curve("PC  (Silverlight)", pc.result.trace, 100.0, 5.0);
+  std::printf("\n");
+  bench::print_download_curve("iPad (native app)", ipad.result.trace, 100.0, 5.0);
+
+  std::printf("\n(b) long ON-OFF cycles: Android native app\n\n");
+  bench::print_download_curve("Android (native app)", android.result.trace, 150.0, 5.0);
+
+  std::printf("\nclassification:\n");
+  for (const auto* o : {&pc, &ipad, &android}) {
+    std::printf("  %-40s -> %-8s (median block %.2f MB, %zu connections)\n",
+                o->result.trace.label.c_str(), analysis::to_string(o->decision.strategy).c_str(),
+                o->decision.median_block_bytes / 1048576.0, o->decision.connections);
+  }
+  std::printf("\npaper: Short for PC and iPad, Long for Android.\n");
+}
+
+void BM_Fig10NetflixSession(benchmark::State& state) {
+  const auto app = state.range(0) == 0   ? Application::kInternetExplorer
+                   : state.range(0) == 1 ? Application::kIosNative
+                                         : Application::kAndroidNative;
+  const auto cfg = config(app, 44);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.decision.strategy);
+  }
+  state.SetLabel(to_string(app));
+}
+BENCHMARK(BM_Fig10NetflixSession)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 11 — Netflix buffering amounts.
+//
+// Netflix downloads fragments at *every* encoding-ladder rate during the
+// buffering phase (Akhshabi et al.), so the buffering amount depends on the
+// application's ladder: PCs ~50 MB, iPad ~10 MB (reduced ladder), Android
+// ~40 MB. CDFs over the NetPC / NetMob datasets on the Academic and Home
+// networks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+stats::EmpiricalCdf buffering_cdf(Application app, net::Vantage vantage, std::size_t n,
+                                  std::uint64_t seed) {
+  const auto dataset = (app == Application::kInternetExplorer) ? video::DatasetId::kNetPc
+                                                               : video::DatasetId::kNetMob;
+  const auto outcomes =
+      bench::sweep(Service::kNetflix, Container::kSilverlight, app, vantage, dataset, n, seed);
+  stats::EmpiricalCdf cdf;
+  for (const auto& o : outcomes) cdf.add(static_cast<double>(o.analysis.buffering_bytes));
+  return cdf;
+}
+
+void print_reproduction() {
+  bench::print_header("Figure 11 -- Netflix buffering amounts",
+                      "Rao et al., CoNEXT 2011, Fig 11(a)/(b)");
+  const std::size_t n = std::max<std::size_t>(6, bench::sessions_per_sweep() / 3);
+
+  std::printf("(a) short ON-OFF applications [MB] (%zu sessions each)\n\n", n);
+  std::vector<std::pair<std::string, stats::EmpiricalCdf>> cdfs;
+  cdfs.emplace_back("PC Acad.",
+                    buffering_cdf(Application::kInternetExplorer, net::Vantage::kAcademic, n, 1201));
+  cdfs.emplace_back("PC Home",
+                    buffering_cdf(Application::kInternetExplorer, net::Vantage::kHome, n, 1202));
+  cdfs.emplace_back("iPad Acad.",
+                    buffering_cdf(Application::kIosNative, net::Vantage::kAcademic, n, 1203));
+  bench::print_cdf_table(cdfs, "MB", 1.0 / 1048576.0);
+
+  std::printf("\n(b) Android [MB]\n\n");
+  std::vector<std::pair<std::string, stats::EmpiricalCdf>> android;
+  android.emplace_back("Android Acad.",
+                       buffering_cdf(Application::kAndroidNative, net::Vantage::kAcademic, n, 1204));
+  bench::print_cdf_table(android, "MB", 1.0 / 1048576.0);
+
+  std::printf("\nmedians vs paper:\n");
+  const char* expect[] = {"~50 MB", "~50 MB", "~10 MB"};
+  for (std::size_t i = 0; i < cdfs.size(); ++i) {
+    std::printf("  %-12s %.1f MB (paper: %s)\n", cdfs[i].first.c_str(),
+                cdfs[i].second.inverse(0.5) / 1048576.0, expect[i]);
+  }
+  std::printf("  %-12s %.1f MB (paper: ~40 MB)\n", android[0].first.c_str(),
+              android[0].second.inverse(0.5) / 1048576.0);
+}
+
+void BM_Fig11NetflixBuffering(benchmark::State& state) {
+  sim::Rng rng{4};
+  const auto ds = video::make_dataset(video::DatasetId::kNetMob, rng, 1);
+  const auto cfg =
+      bench::make_config(Service::kNetflix, Container::kSilverlight, Application::kIosNative,
+                         net::Vantage::kAcademic, ds.videos[0], 61);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.analysis.buffering_bytes);
+  }
+}
+BENCHMARK(BM_Fig11NetflixBuffering)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

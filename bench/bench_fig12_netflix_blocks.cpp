@@ -1,0 +1,101 @@
+// Figure 12 — Netflix block sizes depend on the application.
+//
+// PCs and iPad pull blocks below 2.5 MB (short cycles, slightly larger than
+// YouTube's 64/256 kB); the Android app pulls much larger blocks (long
+// cycles). The paper also notes the connection behaviour: ack clocks appear
+// when a block rides a *fresh* connection (PC/iPad) but not when a
+// connection carries several blocks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+stats::EmpiricalCdf block_cdf(Application app, net::Vantage vantage, std::size_t n,
+                              std::uint64_t seed, std::size_t* connections = nullptr) {
+  const auto dataset = (app == Application::kInternetExplorer) ? video::DatasetId::kNetPc
+                                                               : video::DatasetId::kNetMob;
+  const auto outcomes =
+      bench::sweep(Service::kNetflix, Container::kSilverlight, app, vantage, dataset, n, seed);
+  stats::EmpiricalCdf cdf;
+  std::size_t conns = 0;
+  for (const auto& o : outcomes) {
+    for (const double b : o.analysis.block_sizes_bytes) cdf.add(b);
+    conns += o.decision.connections;
+  }
+  if (connections != nullptr && !outcomes.empty()) *connections = conns / outcomes.size();
+  return cdf;
+}
+
+void print_reproduction() {
+  bench::print_header("Figure 12 -- Netflix block sizes",
+                      "Rao et al., CoNEXT 2011, Fig 12(a)/(b) + Section 5.2.2");
+  const std::size_t n = std::max<std::size_t>(6, bench::sessions_per_sweep() / 3);
+
+  std::size_t pc_conns = 0;
+  std::size_t ipad_conns = 0;
+  std::size_t android_conns = 0;
+
+  std::printf("(a) short ON-OFF applications, block size [MB] (%zu sessions each)\n\n", n);
+  std::vector<std::pair<std::string, stats::EmpiricalCdf>> cdfs;
+  cdfs.emplace_back("PC Acad.", block_cdf(Application::kInternetExplorer,
+                                          net::Vantage::kAcademic, n, 1301, &pc_conns));
+  cdfs.emplace_back("PC Home", block_cdf(Application::kInternetExplorer, net::Vantage::kHome, n,
+                                         1302));
+  cdfs.emplace_back("iPad Acad.",
+                    block_cdf(Application::kIosNative, net::Vantage::kAcademic, n, 1303,
+                              &ipad_conns));
+  bench::print_cdf_table(cdfs, "MB", 1.0 / 1048576.0);
+
+  std::printf("\n(b) Android, block size [MB]\n\n");
+  std::vector<std::pair<std::string, stats::EmpiricalCdf>> android;
+  android.emplace_back("Android Acad.",
+                       block_cdf(Application::kAndroidNative, net::Vantage::kAcademic, n, 1304,
+                                 &android_conns));
+  bench::print_cdf_table(android, "MB", 1.0 / 1048576.0);
+
+  std::printf("\nshape checks:\n");
+  for (const auto& [name, cdf] : cdfs) {
+    if (cdf.empty()) continue;
+    std::printf("  %-14s p90 block %.2f MB %s 2.5 MB (paper: below)\n", name.c_str(),
+                cdf.inverse(0.9) / 1048576.0,
+                cdf.inverse(0.9) <= 2.5 * 1048576.0 ? "<=" : ">");
+  }
+  if (!android[0].second.empty()) {
+    std::printf("  %-14s median block %.2f MB (paper: large, long cycles)\n", "Android Acad.",
+                android[0].second.inverse(0.5) / 1048576.0);
+  }
+  std::printf("\nconnection usage (paper: \"a large number of TCP connections\" on PC/iPad):\n");
+  std::printf("  PC %zu, iPad %zu, Android %zu connections per 180 s session\n", pc_conns,
+              ipad_conns, android_conns);
+}
+
+void BM_Fig12NetflixSession(benchmark::State& state) {
+  sim::Rng rng{6};
+  const auto ds = video::make_dataset(video::DatasetId::kNetPc, rng, 1);
+  const auto cfg =
+      bench::make_config(Service::kNetflix, Container::kSilverlight,
+                         Application::kInternetExplorer, net::Vantage::kAcademic, ds.videos[0], 71);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.analysis.median_block_bytes());
+  }
+}
+BENCHMARK(BM_Fig12NetflixSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

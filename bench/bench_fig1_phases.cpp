@@ -1,0 +1,75 @@
+// Figure 1 — Phases of video download.
+//
+// Streams one Flash video and annotates the trace with the quantities the
+// figure illustrates: the buffering phase (slope = end-to-end available
+// bandwidth), the steady-state phase with ON-OFF cycles, the block size,
+// the cycle duration, and the average steady-state rate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+
+streaming::SessionConfig config() {
+  video::VideoMeta v;
+  v.id = "fig1";
+  v.duration_s = 600.0;
+  v.encoding_bps = 1e6;
+  v.container = video::Container::kFlash;
+  return bench::make_config(streaming::Service::kYouTube, video::Container::kFlash,
+                            streaming::Application::kInternetExplorer, net::Vantage::kResearch,
+                            v, 42);
+}
+
+void print_reproduction() {
+  bench::print_header("Figure 1 -- phases of video download",
+                      "Rao et al., CoNEXT 2011, Fig 1");
+  const auto outcome = bench::run_and_analyze(config());
+  const auto& a = outcome.analysis;
+
+  bench::print_download_curve("YouTube Flash, Research network", outcome.result.trace, 60.0,
+                              2.0);
+
+  std::printf("\nannotations:\n");
+  std::printf("  buffering phase ends       : %.2f s\n", a.buffering_end_s);
+  std::printf("  buffering amount           : %.2f MB\n", a.buffering_bytes / 1048576.0);
+  const double buffering_rate =
+      a.buffering_end_s > a.first_packet_s
+          ? static_cast<double>(a.buffering_bytes) * 8.0 / (a.buffering_end_s - a.first_packet_s)
+          : 0.0;
+  std::printf("  buffering slope (avail bw) : %.1f Mbps\n", buffering_rate / 1e6);
+  std::printf("  steady-state average rate  : %.2f Mbps\n", a.steady_rate_bps / 1e6);
+  std::printf("  block size (median)        : %.0f kB\n", a.median_block_bytes() / 1024.0);
+  if (!a.on_periods.empty() && a.on_periods.size() > 2) {
+    const auto& p1 = a.on_periods[1];
+    const auto& p2 = a.on_periods[2];
+    std::printf("  cycle duration             : %.2f s (ON %.3f s + OFF %.2f s)\n",
+                p2.start_s - p1.start_s, p1.duration_s(), a.off_durations_s[1]);
+  }
+  std::printf("  ON-OFF cycles observed     : %zu\n", a.block_sizes_bytes.size());
+  std::printf("  accumulation ratio         : %.2f\n",
+              a.accumulation_ratio(outcome.result.encoding_bps_true));
+}
+
+void BM_Fig1Session(benchmark::State& state) {
+  const auto cfg = config();
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.analysis.buffering_bytes);
+  }
+}
+BENCHMARK(BM_Fig1Session)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

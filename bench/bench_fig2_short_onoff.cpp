@@ -1,0 +1,90 @@
+// Figure 2 — Short ON-OFF cycles: who throttles, server or client?
+//
+// (a) Download amount over the first 10 s for a Flash video and an HTML5
+//     video, both in Internet Explorer on the Research network.
+// (b) The TCP receive window: for HTML5 the window periodically empties
+//     (IE pulls from the TCP buffer — client-side throttling); for Flash it
+//     never does (the YouTube server paces — server-side throttling).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+streaming::SessionConfig config(Container container) {
+  video::VideoMeta v;
+  v.id = "fig2";
+  v.duration_s = 600.0;
+  v.encoding_bps = 1e6;
+  v.container = container;
+  return bench::make_config(Service::kYouTube, container, Application::kInternetExplorer,
+                            net::Vantage::kResearch, v, 7);
+}
+
+void print_reproduction() {
+  bench::print_header("Figure 2 -- short ON-OFF cycles and the receive window",
+                      "Rao et al., CoNEXT 2011, Fig 2(a)/(b)");
+
+  const auto flash = bench::run_and_analyze(config(Container::kFlash));
+  const auto html5 = bench::run_and_analyze(config(Container::kHtml5));
+
+  std::printf("(a) download amount, first 10 s\n\n");
+  bench::print_download_curve("Flash (IE)", flash.result.trace, 10.0, 1.0);
+  std::printf("\n");
+  bench::print_download_curve("HTML5 (IE)", html5.result.trace, 10.0, 1.0);
+
+  std::printf("\n(b) TCP receive window evolution over the capture\n");
+  bench::print_window_summary("Flash (IE)", flash.result.trace);
+  bench::print_window_summary("HTML5 (IE)", html5.result.trace);
+
+  const auto flash_zero = analysis::count_zero_window_episodes(flash.result.trace);
+  const auto html5_zero = analysis::count_zero_window_episodes(html5.result.trace);
+  std::printf("\npaper's diagnosis:\n");
+  std::printf("  Flash: %s (server-paced push; rwnd never empties)\n",
+              flash_zero == 0 ? "CONFIRMED" : "NOT REPRODUCED");
+  std::printf("  HTML5: %s (IE pull-throttles; rwnd periodically empties, %zu episodes)\n",
+              html5_zero > 10 ? "CONFIRMED" : "NOT REPRODUCED", html5_zero);
+
+  std::printf("\nsteady-state summary:\n");
+  std::printf("  %-12s block %7.0f kB  accumulation %.2f\n", "Flash (IE)",
+              flash.analysis.median_block_bytes() / 1024.0,
+              flash.analysis.accumulation_ratio(flash.result.encoding_bps_true));
+  std::printf("  %-12s block %7.0f kB  accumulation %.2f\n", "HTML5 (IE)",
+              html5.analysis.median_block_bytes() / 1024.0,
+              html5.analysis.accumulation_ratio(html5.result.encoding_bps_true));
+}
+
+void BM_Fig2FlashSession(benchmark::State& state) {
+  const auto cfg = config(Container::kFlash);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.analysis.steady_rate_bps);
+  }
+}
+BENCHMARK(BM_Fig2FlashSession)->Unit(benchmark::kMillisecond);
+
+void BM_Fig2Html5Session(benchmark::State& state) {
+  const auto cfg = config(Container::kHtml5);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.analysis.steady_rate_bps);
+  }
+}
+BENCHMARK(BM_Fig2Html5Session)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

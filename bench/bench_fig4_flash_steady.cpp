@@ -1,0 +1,88 @@
+// Figure 4 — Steady state for Flash videos.
+//
+// (a) Block-size CDF across the four networks: 64 kB dominates everywhere;
+//     losses split blocks (smaller) or merge cycles (larger) on the lossier
+//     networks.
+// (b) Accumulation-ratio CDF: ~1.25 for the majority of sessions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "stats/histogram.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+void print_reproduction() {
+  bench::print_header("Figure 4 -- steady state for Flash videos",
+                      "Rao et al., CoNEXT 2011, Fig 4(a)/(b)");
+  const std::size_t n = bench::sessions_per_sweep();
+
+  std::vector<std::pair<std::string, stats::EmpiricalCdf>> block_cdfs;
+  std::vector<std::pair<std::string, stats::EmpiricalCdf>> ratio_cdfs;
+  stats::Histogram block_hist{0.0, 256.0, 32};
+
+  for (const auto vantage : net::kAllVantages) {
+    const auto outcomes =
+        bench::sweep(Service::kYouTube, Container::kFlash, Application::kFirefox, vantage,
+                     video::DatasetId::kYouFlash, n, 601);
+    stats::EmpiricalCdf blocks;
+    stats::EmpiricalCdf ratios;
+    for (const auto& o : outcomes) {
+      for (const double b : o.analysis.block_sizes_bytes) {
+        blocks.add(b);
+        if (vantage == net::Vantage::kResearch) block_hist.add(b / 1024.0);
+      }
+      if (o.analysis.has_steady_state()) {
+        ratios.add(o.analysis.accumulation_ratio(o.result.encoding_bps_true));
+      }
+    }
+    block_cdfs.emplace_back(std::string{net::vantage_name(vantage)}, std::move(blocks));
+    ratio_cdfs.emplace_back(std::string{net::vantage_name(vantage)}, std::move(ratios));
+  }
+
+  std::printf("(a) block size CDF [kB] (%zu sessions per network)\n\n", n);
+  bench::print_cdf_table(block_cdfs, "kB", 1.0 / 1024.0);
+  std::printf("\n  block-size histogram, Research network [kB]:\n%s",
+              block_hist.render(40).c_str());
+  std::printf("  dominant block size: %.0f kB (paper: 64 kB)\n", block_hist.mode());
+
+  std::printf("\n(b) accumulation ratio CDF\n\n");
+  bench::print_cdf_table(ratio_cdfs, "ratio");
+  for (const auto& [name, cdf] : ratio_cdfs) {
+    if (!cdf.empty()) {
+      std::printf("  %-10s median accumulation ratio %.2f (paper: ~1.25)\n", name.c_str(),
+                  cdf.inverse(0.5));
+    }
+  }
+}
+
+void BM_Fig4SteadyStateAnalysis(benchmark::State& state) {
+  sim::Rng rng{2};
+  const auto ds = video::make_dataset(video::DatasetId::kYouFlash, rng, 1);
+  const auto cfg =
+      bench::make_config(Service::kYouTube, Container::kFlash, Application::kFirefox,
+                         net::Vantage::kResidence, ds.videos[0], 11);
+  const auto outcome = bench::run_and_analyze(cfg);
+  for (auto _ : state) {
+    auto analysis = analysis::analyze_on_off(outcome.result.trace);
+    benchmark::DoNotOptimize(analysis.block_sizes_bytes.size());
+  }
+  state.SetLabel("analyze_on_off over one 180 s trace");
+}
+BENCHMARK(BM_Fig4SteadyStateAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

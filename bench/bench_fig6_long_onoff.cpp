@@ -1,0 +1,101 @@
+// Figure 6 — Long ON-OFF cycles (Chrome, Android YouTube app).
+//
+// (a) A representative Chrome trace: download amount plus receive-window
+//     behaviour — the window periodically empties because Chrome pulls
+//     large blocks from the TCP buffer, idling the connection for tens of
+//     seconds.
+// (b) Block-size CDF: > 2.5 MB for most sessions (Chrome in all four
+//     networks, Android on Research).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+void print_reproduction() {
+  bench::print_header("Figure 6 -- long ON-OFF cycles",
+                      "Rao et al., CoNEXT 2011, Fig 6(a)/(b)");
+  const std::size_t n = bench::sessions_per_sweep();
+
+  // (a) representative trace.
+  video::VideoMeta v;
+  v.id = "fig6";
+  v.duration_s = 900.0;
+  v.encoding_bps = 1.2e6;
+  v.container = Container::kHtml5;
+  const auto chrome_cfg =
+      bench::make_config(Service::kYouTube, Container::kHtml5, Application::kChrome,
+                         net::Vantage::kResearch, v, 17);
+  const auto chrome = bench::run_and_analyze(chrome_cfg);
+  std::printf("(a) Chrome representative trace (Research network)\n\n");
+  bench::print_download_curve("HTML5 (Chrome)", chrome.result.trace, 180.0, 10.0);
+  bench::print_window_summary("HTML5 (Chrome)", chrome.result.trace);
+  std::printf("  OFF periods: median %.1f s, max %.1f s (paper: order of 60 s)\n",
+              chrome.analysis.median_off_s(), chrome.analysis.max_off_s());
+
+  // (b) block-size CDFs.
+  std::printf("\n(b) block-size CDF [MB] (%zu sessions each)\n\n", n);
+  std::vector<std::pair<std::string, stats::EmpiricalCdf>> cdfs;
+  for (const auto vantage : net::kAllVantages) {
+    const auto outcomes = bench::sweep(Service::kYouTube, Container::kHtml5,
+                                       Application::kChrome, vantage,
+                                       video::DatasetId::kYouHtml, n, 801);
+    stats::EmpiricalCdf blocks;
+    for (const auto& o : outcomes) {
+      for (const double b : o.analysis.block_sizes_bytes) blocks.add(b);
+    }
+    const std::string label =
+        vantage == net::Vantage::kResearch ? "Rsrch (Cr)" : std::string{net::vantage_name(vantage)};
+    cdfs.emplace_back(label, std::move(blocks));
+  }
+  {
+    const auto outcomes = bench::sweep(Service::kYouTube, Container::kHtml5,
+                                       Application::kAndroidNative, net::Vantage::kResearch,
+                                       video::DatasetId::kYouMob, n, 802);
+    stats::EmpiricalCdf blocks;
+    for (const auto& o : outcomes) {
+      for (const double b : o.analysis.block_sizes_bytes) blocks.add(b);
+    }
+    cdfs.emplace_back("Rsrch (And.)", std::move(blocks));
+  }
+  bench::print_cdf_table(cdfs, "MB", 1.0 / 1048576.0);
+  std::printf("\n  paper: most blocks > 2.5 MB. measured medians:\n");
+  for (const auto& [name, cdf] : cdfs) {
+    if (!cdf.empty()) {
+      std::printf("    %-12s %.2f MB %s\n", name.c_str(), cdf.inverse(0.5) / 1048576.0,
+                  cdf.inverse(0.5) > 2.5 * 1048576.0 ? "(> 2.5 MB)" : "(< 2.5 MB)");
+    }
+  }
+}
+
+void BM_Fig6ChromeSession(benchmark::State& state) {
+  video::VideoMeta v;
+  v.id = "bm6";
+  v.duration_s = 900.0;
+  v.encoding_bps = 1.2e6;
+  v.container = Container::kHtml5;
+  const auto cfg = bench::make_config(Service::kYouTube, Container::kHtml5,
+                                      Application::kChrome, net::Vantage::kResearch, v, 17);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.analysis.max_off_s());
+  }
+}
+BENCHMARK(BM_Fig6ChromeSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

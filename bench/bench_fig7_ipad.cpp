@@ -1,0 +1,105 @@
+// Figure 7 — The native iPad YouTube client mixes streaming strategies.
+//
+// (a) Download evolution of two videos: one showing periodic buffering plus
+//     short cycles over dozens of successive connections (Video1), one a
+//     plain short-cycle pattern (Video2 in the paper used one connection;
+//     our client models the multi-connection behaviour, so Video2 is a
+//     low-rate video with small blocks).
+// (b) Mean steady-state block size vs encoding rate: the block grows with
+//     the rate (the client sizes fetches in playback seconds).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/flows.hpp"
+#include "stats/descriptive.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+streaming::SessionConfig config(double rate_bps, std::uint64_t seed) {
+  video::VideoMeta v;
+  v.id = "fig7";
+  v.duration_s = 900.0;
+  v.encoding_bps = rate_bps;
+  v.container = Container::kHtml5;
+  return bench::make_config(Service::kYouTube, Container::kHtml5, Application::kIosNative,
+                            net::Vantage::kResearch, v, seed);
+}
+
+void print_reproduction() {
+  bench::print_header("Figure 7 -- iPad: combination of strategies",
+                      "Rao et al., CoNEXT 2011, Fig 7(a)/(b)");
+
+  std::printf("(a) download evolution, first 50 s\n\n");
+  const auto video1 = bench::run_and_analyze(config(2.5e6, 31));
+  const auto video2 = bench::run_and_analyze(config(0.4e6, 32));
+  bench::print_download_curve("Video1 (2.5 Mbps)", video1.result.trace, 50.0, 2.5);
+  std::printf("\n");
+  bench::print_download_curve("Video2 (0.4 Mbps)", video2.result.trace, 50.0, 2.5);
+
+  // Count connections used in the first 60 s (paper: 37 for Video1).
+  const auto connections_in = [](const capture::PacketTrace& trace, double t_max) {
+    std::set<std::uint64_t> ids;
+    for (const auto& p : trace.packets) {
+      if (p.t_s <= t_max) ids.insert(p.connection_id);
+    }
+    return ids.size();
+  };
+  std::printf("\n  Video1: %zu TCP connections in the first 60 s (paper: 37)\n",
+              connections_in(video1.result.trace, 60.0));
+  std::printf("  Video1 strategy: %s\n", analysis::to_string(video1.decision.strategy).c_str());
+  const auto flows = analysis::build_flow_table(video1.result.trace);
+  std::printf("  per-connection transfer sizes span %.0f kB ... %.1f MB (paper: 64 kB-8 MB)\n",
+              static_cast<double>(flows.min_down_bytes()) / 1024.0,
+              static_cast<double>(flows.max_down_bytes()) / 1048576.0);
+  std::printf("  Video2: %zu TCP connection(s) -- the paper's Video2 used one connection\n",
+              video2.result.connections);
+  std::printf("  Video2 strategy: %s (paper: plain short ON-OFF cycles)\n",
+              analysis::to_string(video2.decision.strategy).c_str());
+
+  std::printf("\n(b) mean block size vs encoding rate\n\n");
+  std::printf("  %12s %18s\n", "rate [Mbps]", "mean block [kB]");
+  std::vector<double> rates;
+  std::vector<double> blocks;
+  for (double mbps = 0.25; mbps <= 3.0 + 1e-9; mbps += 0.25) {
+    const auto outcome = bench::run_and_analyze(config(mbps * 1e6, 33));
+    if (!outcome.analysis.has_steady_state()) continue;
+    // Exclude re-buffering chunks: block sizes below the 2.5 MB boundary.
+    std::vector<double> small;
+    for (const double b : outcome.analysis.block_sizes_bytes) {
+      if (b <= 2.5 * 1048576.0) small.push_back(b);
+    }
+    if (small.empty()) continue;
+    const double mean_block = stats::mean(small);
+    rates.push_back(mbps);
+    blocks.push_back(mean_block);
+    std::printf("  %12.2f %18.0f\n", mbps, mean_block / 1024.0);
+  }
+  std::printf("\n  correlation(rate, block size) = %.2f (paper: strong positive trend)\n",
+              stats::pearson_correlation(rates, blocks));
+}
+
+void BM_Fig7IpadSession(benchmark::State& state) {
+  const auto cfg = config(2.5e6, 31);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.result.connections);
+  }
+}
+BENCHMARK(BM_Fig7IpadSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8 — No ON-OFF cycles: bulk transfers.
+//
+// For HD (Flash) videos and HTML5-on-Firefox, nobody throttles: the
+// download rate equals the end-to-end available bandwidth and is therefore
+// uncorrelated with the encoding rate. Long videos (> 1200 s) confirm the
+// absence of a steady-state phase over the whole session.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "stats/descriptive.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+void print_reproduction() {
+  bench::print_header("Figure 8 -- no ON-OFF cycles (bulk transfer)",
+                      "Rao et al., CoNEXT 2011, Fig 8 + Section 5.1.4");
+  const std::size_t n = bench::sessions_per_sweep();
+
+  std::printf("HD (Flash) videos on the Research network (%zu videos)\n\n", n);
+  std::printf("  %12s %18s\n", "rate [Mbps]", "download [Mbps]");
+  const auto outcomes =
+      bench::sweep(Service::kYouTube, Container::kFlashHd, Application::kInternetExplorer,
+                   net::Vantage::kResearch, video::DatasetId::kYouHd, n, 901);
+  std::vector<double> rates;
+  std::vector<double> dl_rates;
+  std::size_t bulk_count = 0;
+  for (const auto& o : outcomes) {
+    const double dl = o.analysis.overall_rate_bps();
+    rates.push_back(o.result.encoding_bps_true / 1e6);
+    dl_rates.push_back(dl / 1e6);
+    if (o.decision.strategy == analysis::Strategy::kNoOnOff) ++bulk_count;
+    std::printf("  %12.2f %18.2f\n", o.result.encoding_bps_true / 1e6, dl / 1e6);
+  }
+  std::printf("\n  correlation(encoding rate, download rate) = %.2f (paper: none)\n",
+              stats::pearson_correlation(rates, dl_rates));
+  std::printf("  sessions classified No ON-OFF: %zu / %zu\n", bulk_count, outcomes.size());
+
+  // Long-video check (paper: 50 videos with duration > 1200 s show no
+  // steady state across the whole session).
+  std::printf("\nlong-video check (duration > 1200 s, full capture):\n");
+  std::size_t long_bulk = 0;
+  constexpr std::size_t kLongVideos = 8;
+  for (std::size_t i = 0; i < kLongVideos; ++i) {
+    video::VideoMeta v;
+    v.id = "hd-long" + std::to_string(i);
+    v.duration_s = 1500.0;
+    v.encoding_bps = 2e6 + 0.3e6 * static_cast<double>(i);
+    v.container = Container::kFlashHd;
+    const auto cfg = bench::make_config(Service::kYouTube, Container::kFlashHd,
+                                        Application::kFirefox, net::Vantage::kResearch, v,
+                                        902 + i);
+    const auto o = bench::run_and_analyze(cfg);
+    if (o.decision.strategy == analysis::Strategy::kNoOnOff) ++long_bulk;
+  }
+  std::printf("  %zu / %zu long HD videos show no steady-state phase\n", long_bulk, kLongVideos);
+}
+
+void BM_Fig8BulkSession(benchmark::State& state) {
+  video::VideoMeta v;
+  v.id = "bm8";
+  v.duration_s = 600.0;
+  v.encoding_bps = 3e6;
+  v.container = Container::kFlashHd;
+  const auto cfg = bench::make_config(Service::kYouTube, Container::kFlashHd,
+                                      Application::kFirefox, net::Vantage::kResearch, v, 9);
+  for (auto _ : state) {
+    auto outcome = bench::run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.analysis.overall_rate_bps());
+  }
+}
+BENCHMARK(BM_Fig8BulkSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

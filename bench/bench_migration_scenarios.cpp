@@ -1,0 +1,68 @@
+// The paper's conclusion, quantified: population-wide strategy migrations.
+//
+// "Migration from one application to another, or from one container to
+// another, can impact the aggregate video streaming traffic" — the most
+// likely being Flash -> HTML5 plus more mobile devices. This bench
+// evaluates the Section 6 model over those scenarios: aggregate rate,
+// variance, and interruption waste per mix.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "model/migration.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+
+void print_reproduction() {
+  bench::print_header("Migration scenarios -- conclusion of the paper",
+                      "Rao et al., CoNEXT 2011, Section 8 (via the Section 6 model)");
+  constexpr double kLambda = 1.0;
+  const auto scenarios = model::paper_conclusion_scenarios(kLambda);
+
+  std::printf("lambda = %.1f sessions/s; Finamore viewing pattern for interruptions\n\n",
+              kLambda);
+  std::printf("%-36s %12s %10s %12s %9s\n", "scenario", "E[R] [Mbps]", "sd [Mbps]",
+              "waste [Mbps]", "waste %");
+  std::printf("--------------------------------------------------------------------------\n");
+  for (const auto& scenario : scenarios) {
+    const auto impact = model::evaluate_scenario(scenario);
+    std::printf("%-36s %12.1f %10.1f %12.1f %8.1f%%\n", scenario.name.c_str(),
+                impact.mean_rate_bps / 1e6, impact.rate_sd_bps / 1e6, impact.wasted_bps / 1e6,
+                impact.waste_fraction * 100.0);
+    for (const auto& profile : scenario.mix) {
+      std::printf("    %4.0f%% %s\n", profile.share * 100.0, profile.name.c_str());
+    }
+  }
+  std::printf("--------------------------------------------------------------------------\n");
+  std::printf("readings:\n");
+  std::printf("  - equal encoding rates => E[R] barely moves across strategy mixes\n");
+  std::printf("    (Section 6.1 conclusion 2), but the *waste* shifts with the buffering\n");
+  std::printf("    policies: HTML5 clients buffer 10-15 MB regardless of rate, so the\n");
+  std::printf("    Flash->HTML5 migration increases wasted bandwidth.\n");
+  std::printf("  - the HD scenario moves E[R] linearly with the encoding rate while the\n");
+  std::printf("    coefficient of variation falls (smoother aggregate).\n");
+}
+
+void BM_EvaluateScenario(benchmark::State& state) {
+  const auto scenarios = model::paper_conclusion_scenarios(1.0);
+  const auto& scenario = scenarios[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto impact = model::evaluate_scenario(scenario, 20000);
+    benchmark::DoNotOptimize(impact.wasted_bps);
+  }
+  state.SetLabel(scenario.name);
+}
+BENCHMARK(BM_EvaluateScenario)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Section 6.1 — Aggregate video-traffic model.
+//
+// Validates Eq (3)/(4) against Monte-Carlo superposition, demonstrates the
+// strategy-independence of the mean and variance, sweeps the encoding rate
+// to show the smoothing effect (coefficient of variation falls as 1/sqrt(e)),
+// and prints the dimensioning rule E[R] + alpha sqrt(V).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "model/aggregate.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using model::AggregateParams;
+using model::ModelStrategy;
+using model::MonteCarloConfig;
+
+MonteCarloConfig base_config(ModelStrategy strategy) {
+  MonteCarloConfig cfg;
+  cfg.lambda_per_s = 0.5;
+  cfg.horizon_s = 3000.0;
+  cfg.sample_dt_s = 1.0;
+  cfg.seed = 7;
+  cfg.strategy = strategy;
+  cfg.draw_encoding_bps = [](sim::Rng& r) { return r.uniform(0.5e6, 1.5e6); };
+  cfg.draw_duration_s = [](sim::Rng& r) { return r.uniform(120.0, 480.0); };
+  cfg.draw_download_rate_bps = [](sim::Rng& r) { return r.uniform(4e6, 6e6); };
+  cfg.accumulation_ratio = 1.25;
+  cfg.buffering_playback_s = 40.0;
+  cfg.block_bytes = 64 * 1024;
+  return cfg;
+}
+
+void print_reproduction() {
+  bench::print_header("Section 6.1 -- aggregate traffic model",
+                      "Rao et al., CoNEXT 2011, Eq (3)/(4) and conclusions 1-3");
+
+  AggregateParams p;
+  p.lambda_per_s = 0.5;
+  p.mean_encoding_bps = 1e6;
+  p.mean_duration_s = 300.0;
+  p.mean_download_rate_bps = 5e6;
+
+  const double mean = model::mean_aggregate_rate_bps(p);
+  const double var = model::variance_aggregate_rate(p);
+  std::printf("closed forms (lambda=%.2f/s, E[e]=%.1f Mbps, E[L]=%.0f s, E[G]=%.0f Mbps):\n",
+              p.lambda_per_s, p.mean_encoding_bps / 1e6, p.mean_duration_s,
+              p.mean_download_rate_bps / 1e6);
+  std::printf("  Eq(3) E[R]   = %10.2f Mbps\n", mean / 1e6);
+  std::printf("  Eq(4) Var[R] = %10.4g (bps)^2, sd = %.2f Mbps\n", var, std::sqrt(var) / 1e6);
+
+  std::printf("\nMonte-Carlo superposition vs closed form, per strategy:\n");
+  std::printf("  %-14s %12s %12s %14s %14s\n", "strategy", "mean [Mbps]", "eq(3)", "sd [Mbps]",
+              "eq(4) sd");
+  for (const auto strategy :
+       {ModelStrategy::kNoOnOff, ModelStrategy::kShortOnOff, ModelStrategy::kLongOnOff}) {
+    auto cfg = base_config(strategy);
+    if (strategy == ModelStrategy::kLongOnOff) cfg.block_bytes = 4 * 1024 * 1024;
+    const auto mc = model::run_aggregate_monte_carlo(cfg);
+    const char* name = strategy == ModelStrategy::kNoOnOff      ? "No ON-OFF"
+                       : strategy == ModelStrategy::kShortOnOff ? "Short ON-OFF"
+                                                                : "Long ON-OFF";
+    std::printf("  %-14s %12.2f %12.2f %14.2f %14.2f\n", name, mc.mean_bps / 1e6, mean / 1e6,
+                std::sqrt(mc.variance) / 1e6, std::sqrt(var) / 1e6);
+  }
+  std::printf("  -> conclusion 2: mean and variance are strategy-independent.\n");
+
+  std::printf("\nencoding-rate sweep (conclusion 3: higher rates => smoother aggregate):\n");
+  std::printf("  %12s %12s %12s %16s\n", "E[e] [Mbps]", "E[R] [Mbps]", "sd [Mbps]",
+              "coeff of var");
+  for (double e_mbps = 0.5; e_mbps <= 4.0 + 1e-9; e_mbps *= 2.0) {
+    AggregateParams q = p;
+    q.mean_encoding_bps = e_mbps * 1e6;
+    const double m = model::mean_aggregate_rate_bps(q);
+    const double sd = std::sqrt(model::variance_aggregate_rate(q));
+    std::printf("  %12.1f %12.1f %12.2f %16.4f\n", e_mbps, m / 1e6, sd / 1e6, sd / m);
+  }
+
+  std::printf("\ndimensioning rule (conclusion 1): link capacity = E[R] + alpha sqrt(V)\n");
+  for (const double alpha : {1.0, 2.0, 3.0}) {
+    std::printf("  alpha=%.0f -> %.1f Mbps\n", alpha, model::dimension_link_bps(p, alpha) / 1e6);
+  }
+}
+
+void BM_MonteCarloAggregate(benchmark::State& state) {
+  auto cfg = base_config(ModelStrategy::kShortOnOff);
+  cfg.horizon_s = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto result = model::run_aggregate_monte_carlo(cfg);
+    benchmark::DoNotOptimize(result.mean_bps);
+  }
+  state.SetLabel("horizon " + std::to_string(state.range(0)) + " s");
+}
+BENCHMARK(BM_MonteCarloAggregate)->Arg(500)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Table 1 — Streaming strategies per (service x container x application).
+//
+// Runs one representative session per combination, classifies the trace
+// with the paper's methodology and prints the matrix next to the paper's
+// expected entries (Short / Long / No / Multiple / Not Applicable).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support.hpp"
+#include "video/datasets.hpp"
+
+namespace {
+
+using namespace vstream;
+using bench::make_config;
+using bench::run_and_analyze;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+struct Cell {
+  Service service;
+  Container container;
+  Application application;
+  const char* paper_says;
+};
+
+const std::vector<Cell>& matrix() {
+  static const std::vector<Cell> kCells = {
+      {Service::kYouTube, Container::kFlash, Application::kInternetExplorer, "Short"},
+      {Service::kYouTube, Container::kFlash, Application::kFirefox, "Short"},
+      {Service::kYouTube, Container::kFlash, Application::kChrome, "Short"},
+      {Service::kYouTube, Container::kHtml5, Application::kInternetExplorer, "Short"},
+      {Service::kYouTube, Container::kHtml5, Application::kFirefox, "No"},
+      {Service::kYouTube, Container::kHtml5, Application::kChrome, "Long"},
+      {Service::kYouTube, Container::kHtml5, Application::kIosNative, "Multiple"},
+      {Service::kYouTube, Container::kHtml5, Application::kAndroidNative, "Long"},
+      {Service::kYouTube, Container::kFlashHd, Application::kInternetExplorer, "No"},
+      {Service::kYouTube, Container::kFlashHd, Application::kFirefox, "No"},
+      {Service::kYouTube, Container::kFlashHd, Application::kChrome, "No"},
+      {Service::kYouTube, Container::kFlash, Application::kIosNative, "N/A"},
+      {Service::kNetflix, Container::kSilverlight, Application::kInternetExplorer, "Short"},
+      {Service::kNetflix, Container::kSilverlight, Application::kFirefox, "Short"},
+      {Service::kNetflix, Container::kSilverlight, Application::kChrome, "Short"},
+      {Service::kNetflix, Container::kSilverlight, Application::kIosNative, "Short"},
+      {Service::kNetflix, Container::kSilverlight, Application::kAndroidNative, "Long"},
+  };
+  return kCells;
+}
+
+video::VideoMeta video_for(const Cell& cell) {
+  video::VideoMeta v;
+  v.id = "t1";
+  if (cell.service == Service::kNetflix) {
+    v.duration_s = 3600.0;
+    v.encoding_bps = video::netflix_rate_ladder().back();
+    v.container = Container::kSilverlight;
+    v.available_rates_bps = video::netflix_rate_ladder();
+  } else {
+    v.duration_s = 600.0;
+    v.encoding_bps = cell.container == Container::kFlashHd ? 3e6 : 1.2e6;
+    v.container = cell.container;
+  }
+  return v;
+}
+
+void print_reproduction() {
+  bench::print_header("Table 1 -- streaming strategy matrix",
+                      "Rao et al., CoNEXT 2011, Table 1");
+  std::printf("%-8s %-11s %-8s | %-8s %-10s %8s %7s %6s\n", "service", "container", "app",
+              "paper", "measured", "blk[kB]", "cycles", "conns");
+  std::printf("----------------------------------------------------------------------\n");
+  int mismatches = 0;
+  for (const auto& cell : matrix()) {
+    if (!streaming::combination_supported(cell.service, cell.container, cell.application)) {
+      std::printf("%-8s %-11s %-8s | %-8s %-10s\n", to_string(cell.service).c_str(),
+                  video::to_string(cell.container).c_str(),
+                  to_string(cell.application).c_str(), cell.paper_says, "N/A");
+      continue;
+    }
+    const auto cfg = make_config(cell.service, cell.container, cell.application,
+                                 net::Vantage::kResearch, video_for(cell), 2024);
+    const auto outcome = run_and_analyze(cfg);
+    const std::string measured = analysis::to_string(outcome.decision.strategy);
+    const bool match = measured == cell.paper_says;
+    if (!match) ++mismatches;
+    std::printf("%-8s %-11s %-8s | %-8s %-10s %8.0f %7zu %6zu %s\n",
+                to_string(cell.service).c_str(), video::to_string(cell.container).c_str(),
+                to_string(cell.application).c_str(), cell.paper_says, measured.c_str(),
+                outcome.decision.median_block_bytes / 1024.0, outcome.decision.cycles,
+                outcome.decision.connections, match ? "" : "  << MISMATCH");
+  }
+  std::printf("----------------------------------------------------------------------\n");
+  std::printf("mismatches vs paper: %d / %zu applicable cells\n", mismatches,
+              matrix().size() - 1);
+}
+
+void BM_ClassifyOneSession(benchmark::State& state) {
+  const auto& cell = matrix()[static_cast<std::size_t>(state.range(0))];
+  const auto cfg = make_config(cell.service, cell.container, cell.application,
+                               net::Vantage::kResearch, video_for(cell), 2024);
+  for (auto _ : state) {
+    auto outcome = run_and_analyze(cfg);
+    benchmark::DoNotOptimize(outcome.decision.strategy);
+  }
+  state.SetLabel(to_string(cell.service) + "/" + video::to_string(cell.container) + "/" +
+                 to_string(cell.application));
+}
+BENCHMARK(BM_ClassifyOneSession)->Arg(0)->Arg(3)->Arg(6)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

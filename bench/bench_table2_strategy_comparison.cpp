@@ -1,0 +1,108 @@
+// Table 2 — Comparison of the three streaming strategies.
+//
+// The paper's Table 2 is qualitative (engineering complexity, receive
+// buffer occupancy, unused bytes on interruption). This bench quantifies
+// the two measurable columns by running the same video through the three
+// strategies and a viewer who abandons after 20% (the Finamore et al.
+// viewing pattern the paper cites):
+//   - peak playback-buffer occupancy,
+//   - bytes downloaded-but-unwatched at the interruption.
+// Expected ordering: No > Long > Short on both columns.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support.hpp"
+
+namespace {
+
+using namespace vstream;
+using bench::make_config;
+using bench::run_and_analyze;
+using streaming::Application;
+using streaming::Service;
+using video::Container;
+
+struct Row {
+  const char* strategy;
+  const char* engineering;  // qualitative column straight from the paper
+  Container container;
+  Application application;
+};
+
+constexpr Row kRows[] = {
+    {"No ON-OFF", "none (plain file transfer)", Container::kFlashHd,
+     Application::kInternetExplorer},
+    {"Long ON-OFF", "application-layer support", Container::kHtml5, Application::kChrome},
+    {"Short ON-OFF", "application-layer support", Container::kFlash,
+     Application::kInternetExplorer},
+};
+
+video::VideoMeta test_video(Container container) {
+  video::VideoMeta v;
+  v.id = "t2";
+  v.duration_s = 600.0;
+  v.encoding_bps = 2e6;  // same content for all strategies
+  v.container = container;
+  return v;
+}
+
+bench::SessionOutcome run_row(const Row& row, std::optional<double> beta) {
+  auto cfg = make_config(Service::kYouTube, row.container, row.application,
+                         net::Vantage::kResearch, test_video(row.container), 99);
+  cfg.watch_fraction = beta;
+  return run_and_analyze(cfg);
+}
+
+void print_reproduction() {
+  bench::print_header("Table 2 -- comparison of streaming strategies",
+                      "Rao et al., CoNEXT 2011, Table 2 (quantified)");
+  std::printf("same 2 Mbps / 600 s video; viewer interrupts after beta = 0.2\n\n");
+  std::printf("%-13s %-27s %14s %14s\n", "strategy", "engineering", "peak buf [MB]",
+              "unused [MB]");
+  std::printf("----------------------------------------------------------------------\n");
+  double prev_buf = 1e18;
+  double prev_unused = 1e18;
+  bool buf_ordered = true;
+  bool unused_ordered = true;
+  for (const auto& row : kRows) {
+    const auto outcome = run_row(row, 0.2);
+    const double peak_buf = outcome.result.player.max_buffered_bytes / 1048576.0;
+    const double unused = outcome.result.player.unused_bytes() / 1048576.0;
+    buf_ordered = buf_ordered && peak_buf <= prev_buf + 1e-9;
+    unused_ordered = unused_ordered && unused <= prev_unused + 1e-9;
+    prev_buf = peak_buf;
+    prev_unused = unused;
+    std::printf("%-13s %-27s %14.2f %14.2f\n", row.strategy, row.engineering, peak_buf, unused);
+  }
+  std::printf("----------------------------------------------------------------------\n");
+  std::printf("paper's ordering (No > Long > Short): buffer occupancy %s, unused bytes %s\n",
+              buf_ordered ? "HOLDS" : "VIOLATED", unused_ordered ? "HOLDS" : "VIOLATED");
+
+  std::printf("\nwithout interruption (beta absent), all strategies deliver the video:\n");
+  for (const auto& row : kRows) {
+    const auto outcome = run_row(row, std::nullopt);
+    std::printf("  %-13s downloaded %.1f MB in %.0f s capture\n", row.strategy,
+                outcome.result.bytes_downloaded / 1048576.0, bench::kCaptureSeconds);
+  }
+}
+
+void BM_StrategyRowWithInterruption(benchmark::State& state) {
+  const auto& row = kRows[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto outcome = run_row(row, 0.2);
+    benchmark::DoNotOptimize(outcome.result.player.unused_bytes());
+  }
+  state.SetLabel(row.strategy);
+}
+BENCHMARK(BM_StrategyRowWithInterruption)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

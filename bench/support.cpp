@@ -1,0 +1,162 @@
+#include "support.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace vstream::bench {
+namespace {
+
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string csv_dir() {
+  if (const char* env = std::getenv("VSTREAM_BENCH_CSV_DIR")) return env;
+  return {};
+}
+
+std::size_t sessions_per_sweep() {
+  if (const char* env = std::getenv("VSTREAM_BENCH_SESSIONS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 30;
+}
+
+SessionOutcome run_and_analyze(const streaming::SessionConfig& config) {
+  SessionOutcome out;
+  out.result = streaming::run_session(config);
+  out.analysis = analysis::analyze_on_off(out.result.trace);
+  out.decision = analysis::classify_strategy(out.analysis, out.result.trace);
+  return out;
+}
+
+streaming::SessionConfig make_config(streaming::Service service, video::Container container,
+                                     streaming::Application application, net::Vantage vantage,
+                                     const video::VideoMeta& video, std::uint64_t seed) {
+  streaming::SessionConfig cfg;
+  cfg.service = service;
+  cfg.container = container;
+  cfg.application = application;
+  cfg.network = net::profile_for(vantage);
+  cfg.video = video;
+  cfg.capture_duration_s = kCaptureSeconds;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<SessionOutcome> sweep(streaming::Service service, video::Container container,
+                                  streaming::Application application, net::Vantage vantage,
+                                  video::DatasetId dataset, std::size_t count,
+                                  std::uint64_t seed) {
+  sim::Rng rng{seed};
+  const auto ds = video::make_dataset(dataset, rng, count);
+  std::vector<SessionOutcome> out;
+  out.reserve(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto cfg =
+        make_config(service, container, application, vantage, ds.videos[i], seed + 1000 + i);
+    out.push_back(run_and_analyze(cfg));
+  }
+  return out;
+}
+
+void print_header(const std::string& title, const std::string& paper_reference) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_reference.c_str());
+  std::printf("================================================================\n");
+}
+
+namespace {
+constexpr double kQuantiles[] = {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95};
+}
+
+void print_cdf(const std::string& label, const stats::EmpiricalCdf& cdf, const std::string& unit,
+               double scale) {
+  std::printf("%-28s (n=%zu, %s)\n", label.c_str(), cdf.size(), unit.c_str());
+  if (cdf.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  for (const double q : kQuantiles) {
+    std::printf("  F(x)=%.2f  x=%12.4g\n", q, cdf.inverse(q) * scale);
+  }
+}
+
+void print_cdf_table(const std::vector<std::pair<std::string, stats::EmpiricalCdf>>& cdfs,
+                     const std::string& unit, double scale) {
+  if (const auto dir = csv_dir(); !dir.empty()) {
+    for (const auto& [label, cdf] : cdfs) {
+      if (cdf.empty()) continue;
+      std::ofstream out{dir + "/cdf_" + sanitize_for_filename(label) + ".csv"};
+      out << "x_" << unit << ",F\n";
+      for (const auto& pt : cdf.points()) out << pt.x * scale << ',' << pt.f << '\n';
+    }
+  }
+  std::printf("%10s", ("x [" + unit + "]").c_str());
+  for (const auto& [label, cdf] : cdfs) std::printf("  %14s", label.c_str());
+  std::printf("\n");
+  for (const double q : kQuantiles) {
+    std::printf("  F=%5.2f ", q);
+    for (const auto& [label, cdf] : cdfs) {
+      if (cdf.empty()) {
+        std::printf("  %14s", "-");
+      } else {
+        std::printf("  %14.4g", cdf.inverse(q) * scale);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_download_curve(const std::string& label, const capture::PacketTrace& trace,
+                          double t_max_s, double step_s) {
+  const auto curve = trace.download_curve();
+  if (const auto dir = csv_dir(); !dir.empty()) {
+    std::ofstream out{dir + "/curve_" + sanitize_for_filename(label) + ".csv"};
+    out << "t_s,bytes\n";
+    for (const auto& pt : curve) {
+      if (pt.t_s <= t_max_s) out << pt.t_s << ',' << pt.bytes << '\n';
+    }
+  }
+  std::printf("%s: download amount over time\n", label.c_str());
+  std::printf("  %8s %12s\n", "t [s]", "MB");
+  std::size_t i = 0;
+  for (double t = step_s; t <= t_max_s + 1e-9; t += step_s) {
+    std::uint64_t bytes = 0;
+    while (i < curve.size() && curve[i].t_s <= t) bytes = curve[i++].bytes;
+    if (i > 0) bytes = curve[i - 1].bytes;
+    if (!curve.empty() && curve[0].t_s > t) bytes = 0;
+    std::printf("  %8.1f %12.3f\n", t, static_cast<double>(bytes) / 1048576.0);
+  }
+}
+
+void print_window_summary(const std::string& label, const capture::PacketTrace& trace) {
+  const auto series = trace.receive_window_series();
+  if (series.empty()) {
+    std::printf("%s: no window samples\n", label.c_str());
+    return;
+  }
+  std::uint64_t min_w = series.front().window_bytes;
+  std::uint64_t max_w = min_w;
+  for (const auto& p : series) {
+    min_w = std::min(min_w, p.window_bytes);
+    max_w = std::max(max_w, p.window_bytes);
+  }
+  const std::size_t zero_episodes = analysis::count_zero_window_episodes(trace);
+  std::printf("%s: receive window min=%llu kB max=%llu kB zero-window episodes=%zu\n",
+              label.c_str(), static_cast<unsigned long long>(min_w / 1024),
+              static_cast<unsigned long long>(max_w / 1024), zero_episodes);
+}
+
+}  // namespace vstream::bench

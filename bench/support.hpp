@@ -1,0 +1,79 @@
+// Shared infrastructure for the per-table/per-figure reproduction benches.
+//
+// Every bench binary prints the paper-style rows/series for its table or
+// figure, then runs a google-benchmark section timing the binary's key
+// kernel. The number of sessions per sweep is tunable via the
+// VSTREAM_BENCH_SESSIONS environment variable (default 30) so quick runs
+// and thorough runs use the same binaries. When VSTREAM_BENCH_CSV_DIR is
+// set, every printed CDF table and download curve is also written there as
+// CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/onoff.hpp"
+#include "analysis/strategy.hpp"
+#include "net/profile.hpp"
+#include "stats/cdf.hpp"
+#include "streaming/session.hpp"
+#include "video/datasets.hpp"
+
+namespace vstream::bench {
+
+/// Sessions per sweep (VSTREAM_BENCH_SESSIONS, default 30).
+[[nodiscard]] std::size_t sessions_per_sweep();
+
+/// Default 180 s captures, as in the paper's methodology.
+inline constexpr double kCaptureSeconds = 180.0;
+
+/// One analysed streaming session.
+struct SessionOutcome {
+  streaming::SessionResult result;
+  analysis::OnOffAnalysis analysis;
+  analysis::StrategyDecision decision;
+};
+
+/// Run one session and the paper's full analysis on its trace.
+[[nodiscard]] SessionOutcome run_and_analyze(const streaming::SessionConfig& config);
+
+/// Build a session config for a (service, container, application) combo on a
+/// vantage network with a given video.
+[[nodiscard]] streaming::SessionConfig make_config(streaming::Service service,
+                                                   video::Container container,
+                                                   streaming::Application application,
+                                                   net::Vantage vantage,
+                                                   const video::VideoMeta& video,
+                                                   std::uint64_t seed);
+
+/// Sweep `count` videos of a dataset through one combo on one vantage.
+[[nodiscard]] std::vector<SessionOutcome> sweep(streaming::Service service,
+                                                video::Container container,
+                                                streaming::Application application,
+                                                net::Vantage vantage, video::DatasetId dataset,
+                                                std::size_t count, std::uint64_t seed);
+
+// ---- output helpers ------------------------------------------------------
+
+void print_header(const std::string& title, const std::string& paper_reference);
+
+/// Print a CDF as fixed-quantile rows: q, x(q).
+void print_cdf(const std::string& label, const stats::EmpiricalCdf& cdf,
+               const std::string& unit, double scale = 1.0);
+
+/// Print several CDFs side by side at shared quantiles.
+void print_cdf_table(const std::vector<std::pair<std::string, stats::EmpiricalCdf>>& cdfs,
+                     const std::string& unit, double scale = 1.0);
+
+/// Print a download-amount curve (t, MB) at a fixed time step.
+void print_download_curve(const std::string& label, const capture::PacketTrace& trace,
+                          double t_max_s, double step_s = 1.0);
+
+/// Print the receive-window series summary (Fig 2b / 6a style).
+void print_window_summary(const std::string& label, const capture::PacketTrace& trace);
+
+/// Directory for CSV side-output (VSTREAM_BENCH_CSV_DIR), empty if unset.
+[[nodiscard]] std::string csv_dir();
+
+}  // namespace vstream::bench

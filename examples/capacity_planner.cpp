@@ -1,0 +1,109 @@
+// capacity_planner — dimension a link for aggregate video-streaming traffic
+// with the paper's Section 6 model.
+//
+// Given a session arrival rate and a video population, prints the required
+// link capacity E[R] + alpha*sqrt(Var R) for several overprovisioning
+// levels, validates the closed forms against the Monte-Carlo superposition,
+// and quantifies the paper's headline what-if: a population-wide migration
+// from Flash (k=1.25, B'=40 s) to an HTML5-style strategy, plus a shift to
+// HD encoding rates.
+//
+// Usage: capacity_planner [lambda_per_s] [mean_rate_mbps] [mean_duration_s]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/aggregate.hpp"
+#include "model/interruption.hpp"
+
+namespace {
+
+using namespace vstream;
+
+void print_dimensioning(const model::AggregateParams& p) {
+  const double mean = model::mean_aggregate_rate_bps(p);
+  const double sd = std::sqrt(model::variance_aggregate_rate(p));
+  std::printf("  E[R] = %.1f Mbps, sd = %.1f Mbps, CoV = %.3f\n", mean / 1e6, sd / 1e6,
+              sd / mean);
+  for (const double alpha : {1.0, 2.0, 3.0}) {
+    const double capacity = model::dimension_link_bps(p, alpha);
+    std::printf("    alpha=%.0f  ->  provision %.1f Mbps (overload probability %.3g)\n", alpha,
+                capacity / 1e6, model::overload_probability(p, capacity));
+  }
+  for (const double q : {0.01, 0.001}) {
+    std::printf("    violation target %.1f%% -> provision %.1f Mbps\n", q * 100.0,
+                model::capacity_for_violation(p, q) / 1e6);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  model::AggregateParams p;
+  p.lambda_per_s = argc > 1 ? std::atof(argv[1]) : 0.5;
+  p.mean_encoding_bps = (argc > 2 ? std::atof(argv[2]) : 1.0) * 1e6;
+  p.mean_duration_s = argc > 3 ? std::atof(argv[3]) : 300.0;
+  p.mean_download_rate_bps = 5e6;
+
+  std::printf("== capacity planning (Section 6.1) ==\n");
+  std::printf("population: lambda=%.2f sessions/s, E[e]=%.2f Mbps, E[L]=%.0f s, E[G]=%.0f Mbps\n\n",
+              p.lambda_per_s, p.mean_encoding_bps / 1e6, p.mean_duration_s,
+              p.mean_download_rate_bps / 1e6);
+  print_dimensioning(p);
+
+  std::printf("\nvalidation against Monte-Carlo superposition (short ON-OFF):\n");
+  model::MonteCarloConfig mc;
+  mc.lambda_per_s = p.lambda_per_s;
+  mc.horizon_s = 2000.0;
+  mc.strategy = model::ModelStrategy::kShortOnOff;
+  const double e_mean = p.mean_encoding_bps;
+  const double l_mean = p.mean_duration_s;
+  const double g_mean = p.mean_download_rate_bps;
+  mc.draw_encoding_bps = [e_mean](sim::Rng& r) { return r.uniform(0.5 * e_mean, 1.5 * e_mean); };
+  mc.draw_duration_s = [l_mean](sim::Rng& r) { return r.uniform(0.5 * l_mean, 1.5 * l_mean); };
+  mc.draw_download_rate_bps = [g_mean](sim::Rng&) { return g_mean; };
+  const auto result = model::run_aggregate_monte_carlo(mc);
+  std::printf("  simulated mean %.1f Mbps (closed form %.1f), sd %.1f Mbps (closed form %.1f)\n",
+              result.mean_bps / 1e6, model::mean_aggregate_rate_bps(p) / 1e6,
+              std::sqrt(result.variance) / 1e6, std::sqrt(model::variance_aggregate_rate(p)) / 1e6);
+  std::printf("  mean concurrently-active flows: %.1f\n", result.mean_active_flows);
+
+  std::printf("\n== what-if scenarios (paper's conclusion) ==\n");
+
+  std::printf("\n1. HD migration: E[e] doubles to %.1f Mbps\n", 2 * p.mean_encoding_bps / 1e6);
+  auto hd = p;
+  hd.mean_encoding_bps *= 2.0;
+  print_dimensioning(hd);
+  {
+    const double cov_before = std::sqrt(model::variance_aggregate_rate(p)) /
+                              model::mean_aggregate_rate_bps(p);
+    const double cov_after = std::sqrt(model::variance_aggregate_rate(hd)) /
+                             model::mean_aggregate_rate_bps(hd);
+    std::printf("  rate doubles, but traffic is smoother: CoV %.3f -> %.3f\n", cov_before,
+                cov_after);
+  }
+
+  std::printf("\n2. interruptions: Flash-like policy vs a leaner one (Eq 9)\n");
+  for (const auto& [label, buffered, ratio] :
+       {std::tuple{"Flash-like (B'=40 s, k=1.25)", 40.0, 1.25},
+        std::tuple{"lean (B'=10 s, k=1.05)", 10.0, 1.05}}) {
+    model::WasteMonteCarloConfig waste;
+    waste.lambda_per_s = p.lambda_per_s;
+    waste.draws = 50000;
+    waste.buffered_playback_s = buffered;
+    waste.accumulation_ratio = ratio;
+    waste.draw_encoding_bps = [e_mean](sim::Rng& r) {
+      return r.uniform(0.5 * e_mean, 1.5 * e_mean);
+    };
+    waste.draw_duration_s = [l_mean](sim::Rng& r) { return r.uniform(0.5 * l_mean, 1.5 * l_mean); };
+    waste.draw_beta = [](sim::Rng& r) {
+      return r.bernoulli(0.6) ? r.uniform(0.01, 0.2) : r.uniform(0.2, 0.99);
+    };
+    const auto est = model::estimate_wasted_bandwidth(waste);
+    std::printf("  %-30s wasted %.1f Mbps (%.1f%% of traffic)\n", label, est.wasted_bps / 1e6,
+                est.waste_fraction * 100.0);
+  }
+  std::printf("\nthe strategy itself does not change E[R]/Var R (conclusion 2) -- only the\n"
+              "encoding rates and the interruption-waste policy move the numbers above.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// pcap_analyzer — run the paper's trace analysis on a pcap file.
+//
+// Works on captures written by this library (strategy_explorer can produce
+// them) and on any Ethernet/IPv4/TCP capture of a single streaming session
+// taken at the viewer side (the down direction is detected by which peer
+// sends the bulk of the payload).
+//
+// Usage: pcap_analyzer [--json] [--flows] [--dump] <file.pcap> [encoding_rate_mbps]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "analysis/flows.hpp"
+#include "analysis/report.hpp"
+#include "analysis/report_json.hpp"
+#include "capture/dump.hpp"
+#include "capture/pcap.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vstream;
+  bool as_json = false;
+  bool with_flows = false;
+  bool dump = false;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[arg], "--flows") == 0) {
+      with_flows = true;
+    } else if (std::strcmp(argv[arg], "--dump") == 0) {
+      dump = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[arg]);
+      return 2;
+    }
+    ++arg;
+  }
+  if (arg >= argc) {
+    std::fprintf(stderr, "usage: %s [--json] [--flows] [--dump] <file.pcap> [encoding_rate_mbps]\n",
+                 argv[0]);
+    return 2;
+  }
+  argv += arg - 1;
+  argc -= arg - 1;
+
+  capture::PacketTrace trace;
+  try {
+    trace = capture::read_pcap(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  trace.label = argv[1];
+
+  // Heuristic direction fix-up for foreign captures: the video flows in the
+  // direction carrying most payload. Our own writer already encodes the
+  // direction in the addresses, in which case this is a no-op.
+  std::uint64_t down_payload = 0;
+  std::uint64_t up_payload = 0;
+  for (const auto& p : trace.packets) {
+    (p.direction == net::Direction::kDown ? down_payload : up_payload) += p.payload_bytes;
+  }
+  if (up_payload > down_payload) {
+    for (auto& p : trace.packets) p.direction = net::opposite(p.direction);
+  }
+
+  analysis::ReportOptions options;
+  if (argc > 2) options.encoding_bps = std::atof(argv[2]) * 1e6;
+  const auto report = analysis::build_report(trace, options);
+  if (as_json) {
+    std::printf("{\"report\":%s", analysis::to_json(report).c_str());
+    if (with_flows) {
+      std::printf(",\"flows\":%s", analysis::to_json(analysis::build_flow_table(trace)).c_str());
+    }
+    std::printf("}\n");
+    return 0;
+  }
+  std::fputs(report.render().c_str(), stdout);
+  if (dump) {
+    std::printf("\nfirst packets (tcpdump style):\n");
+    capture::DumpOptions opts;
+    opts.max_packets = 40;
+    std::ostringstream text;
+    capture::dump_trace(trace, text, opts);
+    std::fputs(text.str().c_str(), stdout);
+  }
+  if (with_flows) {
+    std::printf("\nper-connection flows:\n%s", analysis::build_flow_table(trace).render().c_str());
+  }
+  return 0;
+}

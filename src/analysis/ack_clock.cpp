@@ -1,0 +1,59 @@
+#include "analysis/ack_clock.hpp"
+
+#include <stdexcept>
+
+namespace vstream::analysis {
+
+std::optional<double> estimate_handshake_rtt(const capture::PacketTrace& trace) {
+  // Viewer-side capture: the client SYN appears on the up direction, the
+  // SYN-ACK on the down direction. Match per connection id.
+  for (const auto& syn : trace.packets) {
+    if (syn.direction != net::Direction::kUp || !net::has_flag(syn.flags, net::TcpFlag::kSyn) ||
+        net::has_flag(syn.flags, net::TcpFlag::kAck)) {
+      continue;
+    }
+    for (const auto& synack : trace.packets) {
+      if (synack.t_s < syn.t_s) continue;
+      if (synack.direction == net::Direction::kDown &&
+          synack.connection_id == syn.connection_id &&
+          net::has_flag(synack.flags, net::TcpFlag::kSyn) &&
+          net::has_flag(synack.flags, net::TcpFlag::kAck)) {
+        return synack.t_s - syn.t_s;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<double> first_rtt_bytes(const capture::PacketTrace& trace,
+                                    const OnOffAnalysis& analysis,
+                                    const AckClockOptions& options) {
+  double rtt = 0.0;
+  if (options.rtt_s.has_value()) {
+    rtt = *options.rtt_s;
+  } else if (const auto est = estimate_handshake_rtt(trace); est.has_value()) {
+    rtt = *est;
+  } else {
+    throw std::invalid_argument{"first_rtt_bytes: no RTT given and no handshake in trace"};
+  }
+  if (rtt <= 0.0) throw std::invalid_argument{"first_rtt_bytes: non-positive RTT"};
+
+  std::vector<double> samples;
+  // ON period i (i >= 1) is preceded by OFF i-1.
+  for (std::size_t i = 1; i < analysis.on_periods.size(); ++i) {
+    if (analysis.off_durations_s[i - 1] < options.min_preceding_off_s) continue;
+    const auto& on = analysis.on_periods[i];
+    const double window_end = on.start_s + rtt;
+    std::uint64_t bytes = 0;
+    for (const auto& p : trace.packets) {
+      if (p.direction != net::Direction::kDown || p.payload_bytes == 0) continue;
+      if (p.t_s < on.start_s) continue;
+      if (p.t_s >= window_end) break;
+      bytes += p.payload_bytes;
+    }
+    samples.push_back(static_cast<double>(bytes));
+  }
+  return samples;
+}
+
+}  // namespace vstream::analysis

@@ -1,0 +1,113 @@
+#include "analysis/flows.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace vstream::analysis {
+
+FlowTable build_flow_table(const capture::PacketTrace& trace) {
+  std::map<std::uint64_t, FlowRecord> by_id;
+  std::map<std::uint64_t, double> syn_time;
+
+  for (const auto& p : trace.packets) {
+    auto [it, inserted] = by_id.try_emplace(p.connection_id);
+    FlowRecord& f = it->second;
+    if (inserted) {
+      f.connection_id = p.connection_id;
+      f.first_packet_s = p.t_s;
+    }
+    f.last_packet_s = p.t_s;
+
+    const bool syn = net::has_flag(p.flags, net::TcpFlag::kSyn);
+    const bool ack = net::has_flag(p.flags, net::TcpFlag::kAck);
+    if (syn) f.saw_syn = true;
+    if (net::has_flag(p.flags, net::TcpFlag::kFin)) f.saw_fin = true;
+
+    if (p.direction == net::Direction::kUp && syn && !ack) {
+      syn_time[p.connection_id] = p.t_s;
+    }
+    if (p.direction == net::Direction::kDown && syn && ack &&
+        !f.handshake_rtt_s.has_value()) {
+      if (const auto t0 = syn_time.find(p.connection_id); t0 != syn_time.end()) {
+        f.handshake_rtt_s = p.t_s - t0->second;
+      }
+    }
+
+    if (p.direction == net::Direction::kDown) {
+      f.down_payload_bytes += p.payload_bytes;
+      ++f.down_packets;
+      if (p.is_retransmission) f.retransmitted_bytes += p.payload_bytes;
+    } else {
+      f.up_payload_bytes += p.payload_bytes;
+      ++f.up_packets;
+    }
+  }
+
+  FlowTable table;
+  table.flows.reserve(by_id.size());
+  for (auto& [id, flow] : by_id) table.flows.push_back(flow);
+  std::sort(table.flows.begin(), table.flows.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return a.first_packet_s < b.first_packet_s;
+            });
+  return table;
+}
+
+const FlowRecord* FlowTable::find(std::uint64_t connection_id) const {
+  for (const auto& f : flows) {
+    if (f.connection_id == connection_id) return &f;
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::concurrent_at(double t) const {
+  std::size_t n = 0;
+  for (const auto& f : flows) {
+    if (f.first_packet_s <= t && t <= f.last_packet_s) ++n;
+  }
+  return n;
+}
+
+std::uint64_t FlowTable::max_down_bytes() const {
+  std::uint64_t best = 0;
+  for (const auto& f : flows) best = std::max(best, f.down_payload_bytes);
+  return best;
+}
+
+std::uint64_t FlowTable::min_down_bytes() const {
+  if (flows.empty()) return 0;
+  std::uint64_t best = flows.front().down_payload_bytes;
+  for (const auto& f : flows) best = std::min(best, f.down_payload_bytes);
+  return best;
+}
+
+std::size_t FlowTable::flows_started_before(double t_max) const {
+  std::size_t n = 0;
+  for (const auto& f : flows) {
+    if (f.first_packet_s < t_max) ++n;
+  }
+  return n;
+}
+
+std::string FlowTable::render() const {
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof line, "%6s %9s %9s %12s %10s %8s %6s\n", "conn", "start[s]",
+                "end[s]", "down[kB]", "retx[%]", "rtt[ms]", "fin");
+  out += line;
+  for (const auto& f : flows) {
+    std::snprintf(line, sizeof line, "%6llu %9.2f %9.2f %12.1f %10.2f %8s %6s\n",
+                  static_cast<unsigned long long>(f.connection_id), f.first_packet_s,
+                  f.last_packet_s, static_cast<double>(f.down_payload_bytes) / 1024.0,
+                  f.retransmission_fraction() * 100.0,
+                  f.handshake_rtt_s.has_value()
+                      ? std::to_string(static_cast<int>(*f.handshake_rtt_s * 1000.0)).c_str()
+                      : "-",
+                  f.saw_fin ? "yes" : "no");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vstream::analysis

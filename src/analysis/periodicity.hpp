@@ -1,0 +1,41 @@
+// Periodicity analysis: an estimator of the ON-OFF cycle duration that is
+// independent of the gap-threshold heuristic.
+//
+// The steady-state phase of a throttled stream is periodic (Fig 1); binning
+// the download rate and taking the autocorrelation recovers the cycle
+// duration without choosing an idle-gap threshold. Used to cross-validate
+// `analyze_on_off` and to study the threshold's sensitivity (a design
+// choice DESIGN.md flags for ablation).
+#pragma once
+
+#include <optional>
+
+#include "analysis/onoff.hpp"
+#include "capture/trace.hpp"
+
+namespace vstream::analysis {
+
+struct PeriodicityOptions {
+  double bin_s{0.05};          ///< rate-series bin width
+  double max_period_s{120.0};  ///< longest cycle searched for
+  /// Analyse only after this time (skip the buffering phase); if absent the
+  /// buffering end from a quick ON/OFF pass is used.
+  std::optional<double> steady_start_s;
+};
+
+struct PeriodicityResult {
+  bool periodic{false};
+  double period_s{0.0};          ///< dominant ON-OFF cycle duration
+  double correlation{0.0};       ///< autocorrelation at the dominant period
+  std::size_t bins_analysed{0};
+};
+
+[[nodiscard]] PeriodicityResult estimate_cycle_period(const capture::PacketTrace& trace,
+                                                      const PeriodicityOptions& options = {});
+
+/// Expected cycle duration for a paced stream: block / (ratio x encoding
+/// rate) — the ground truth the estimator should recover.
+[[nodiscard]] double paced_cycle_duration_s(double block_bytes, double accumulation_ratio,
+                                            double encoding_bps);
+
+}  // namespace vstream::analysis

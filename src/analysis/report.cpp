@@ -1,0 +1,89 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+
+#include "stats/descriptive.hpp"
+
+namespace vstream::analysis {
+
+SessionReport build_report(const capture::PacketTrace& trace, const ReportOptions& options) {
+  SessionReport report;
+  report.label = trace.label;
+  report.packets = trace.packets.size();
+  report.connections = trace.connection_count();
+  report.retransmission_pct = trace.retransmission_fraction() * 100.0;
+  report.zero_window_episodes = count_zero_window_episodes(trace);
+  report.duration_s = trace.duration_s;
+
+  const auto onoff = analyze_on_off(trace, options.onoff);
+  const auto decision = classify_strategy(onoff, trace);
+  report.strategy = decision.strategy;
+  report.rationale = decision.rationale;
+  report.buffering_end_s = onoff.buffering_end_s;
+  report.buffering_mb = static_cast<double>(onoff.buffering_bytes) / 1048576.0;
+  report.total_mb = static_cast<double>(onoff.total_bytes) / 1048576.0;
+  report.has_steady_state = onoff.has_steady_state();
+  report.steady_rate_mbps = onoff.steady_rate_bps / 1e6;
+  report.median_block_kb = onoff.median_block_bytes() / 1024.0;
+  report.median_off_s = onoff.median_off_s();
+
+  const double rate =
+      options.encoding_bps.has_value() ? *options.encoding_bps : trace.encoding_bps;
+  if (rate > 0.0) {
+    report.buffered_playback_s = onoff.buffered_playback_s(rate);
+    if (onoff.has_steady_state()) report.accumulation_ratio = onoff.accumulation_ratio(rate);
+  }
+
+  if (const auto rtt = estimate_handshake_rtt(trace)) {
+    report.rtt_ms = *rtt * 1000.0;
+    if (options.estimate_ack_clock && onoff.has_steady_state()) {
+      AckClockOptions ack;
+      ack.rtt_s = *rtt;
+      const auto samples = first_rtt_bytes(trace, onoff, ack);
+      if (!samples.empty()) report.median_first_rtt_kb = stats::median(samples) / 1024.0;
+    }
+  }
+
+  if (options.estimate_periodicity && onoff.has_steady_state()) {
+    const auto periodicity = estimate_cycle_period(trace);
+    if (periodicity.periodic) report.cycle_period_s = periodicity.period_s;
+  }
+  return report;
+}
+
+std::string SessionReport::render() const {
+  char buf[512];
+  std::string out;
+  const auto add = [&out, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  add("session           : %s\n", label.empty() ? "(unlabelled)" : label.c_str());
+  add("strategy          : %s ON-OFF (%s)\n", to_string(strategy).c_str(), rationale.c_str());
+  add("capture           : %.2f MB, %zu packets, %zu connections, %.1f s\n", total_mb, packets,
+      connections, duration_s);
+  add("buffering         : %.2f MB, ends at %.2f s", buffering_mb, buffering_end_s);
+  if (buffered_playback_s.has_value()) add(" (%.1f s of playback)", *buffered_playback_s);
+  add("\n");
+  if (has_steady_state) {
+    add("steady state      : %.2f Mbps, median block %.0f kB, median OFF %.2f s\n",
+        steady_rate_mbps, median_block_kb, median_off_s);
+    if (accumulation_ratio.has_value()) {
+      add("accumulation ratio: %.2f\n", *accumulation_ratio);
+    }
+    if (cycle_period_s.has_value()) {
+      add("cycle period      : %.2f s (autocorrelation estimate)\n", *cycle_period_s);
+    }
+  } else {
+    add("steady state      : none (bulk transfer)\n");
+  }
+  add("retransmissions   : %.2f%%\n", retransmission_pct);
+  add("zero-window       : %zu episodes\n", zero_window_episodes);
+  if (rtt_ms.has_value()) add("handshake RTT     : %.1f ms\n", *rtt_ms);
+  if (median_first_rtt_kb.has_value()) {
+    add("first-RTT bytes   : %.0f kB (ack-clock indicator)\n", *median_first_rtt_kb);
+  }
+  return out;
+}
+
+}  // namespace vstream::analysis

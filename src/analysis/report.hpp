@@ -1,0 +1,62 @@
+// One-stop session report: everything the paper's methodology extracts from
+// a capture, in one struct with a text renderer. This is the API a
+// downstream user typically wants — run the analyses with consistent
+// options and render or consume the result.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/ack_clock.hpp"
+#include "analysis/onoff.hpp"
+#include "analysis/periodicity.hpp"
+#include "analysis/strategy.hpp"
+#include "capture/trace.hpp"
+
+namespace vstream::analysis {
+
+struct SessionReport {
+  std::string label;
+  Strategy strategy{Strategy::kNoOnOff};
+  std::string rationale;
+
+  // Buffering phase.
+  double buffering_end_s{0.0};
+  double buffering_mb{0.0};
+  std::optional<double> buffered_playback_s;  ///< needs an encoding rate
+
+  // Steady state.
+  bool has_steady_state{false};
+  double steady_rate_mbps{0.0};
+  double median_block_kb{0.0};
+  double median_off_s{0.0};
+  std::optional<double> accumulation_ratio;
+  std::optional<double> cycle_period_s;  ///< autocorrelation estimate
+
+  // Transport.
+  std::size_t connections{0};
+  std::size_t packets{0};
+  double retransmission_pct{0.0};
+  std::size_t zero_window_episodes{0};
+  std::optional<double> rtt_ms;
+  std::optional<double> median_first_rtt_kb;  ///< ack-clock indicator
+
+  double total_mb{0.0};
+  double duration_s{0.0};
+
+  [[nodiscard]] std::string render() const;
+};
+
+struct ReportOptions {
+  OnOffOptions onoff;
+  /// Encoding rate for playback-time / accumulation-ratio entries; falls
+  /// back to the trace's `encoding_bps` when absent.
+  std::optional<double> encoding_bps;
+  bool estimate_periodicity{true};
+  bool estimate_ack_clock{true};
+};
+
+[[nodiscard]] SessionReport build_report(const capture::PacketTrace& trace,
+                                         const ReportOptions& options = {});
+
+}  // namespace vstream::analysis

@@ -1,0 +1,22 @@
+// JSON rendering of SessionReport and FlowTable — the machine-readable
+// counterpart of the text reports, for downstream tooling. No external
+// dependencies: the writer emits a small, well-formed JSON subset.
+#pragma once
+
+#include <string>
+
+#include "analysis/flows.hpp"
+#include "analysis/report.hpp"
+
+namespace vstream::analysis {
+
+/// Render a report as a single JSON object. Optional fields appear as null.
+[[nodiscard]] std::string to_json(const SessionReport& report);
+
+/// Render a flow table as a JSON array of flow objects.
+[[nodiscard]] std::string to_json(const FlowTable& table);
+
+/// Escape a string for inclusion in JSON output.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace vstream::analysis

@@ -1,0 +1,64 @@
+#include "analysis/strategy.hpp"
+
+#include <algorithm>
+
+namespace vstream::analysis {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kNoOnOff:
+      return "No";
+    case Strategy::kShortOnOff:
+      return "Short";
+    case Strategy::kLongOnOff:
+      return "Long";
+    case Strategy::kMultiple:
+      return "Multiple";
+  }
+  return "?";
+}
+
+StrategyDecision classify_strategy(const OnOffAnalysis& analysis,
+                                   const capture::PacketTrace& trace) {
+  StrategyDecision d;
+  d.cycles = analysis.block_sizes_bytes.size();
+  d.connections = trace.connection_count();
+  d.median_block_bytes = analysis.median_block_bytes();
+
+  // Bulk transfers masquerade in two ways: an essentially continuous
+  // transfer whose only gaps are loss-recovery stalls (tiny OFF fraction),
+  // and a transfer that completed early with a couple of stall gaps (few
+  // "cycles" over a short span). Real throttling either produces many
+  // cycles, or — when the cycles are genuinely long — OFF periods of many
+  // seconds, far beyond any RTO-backoff stall.
+  const bool sparse_cycles = d.cycles < 4;
+  if (!analysis.has_steady_state() || analysis.off_time_fraction() < 0.05 ||
+      (sparse_cycles && analysis.median_off_s() < 5.0)) {
+    d.strategy = Strategy::kNoOnOff;
+    d.rationale = "no sustained steady-state phase observed";
+    return d;
+  }
+
+  if (d.median_block_bytes > kShortLongBoundaryBytes) {
+    d.strategy = Strategy::kLongOnOff;
+    d.rationale = "median steady-state block > 2.5 MB";
+    return d;
+  }
+
+  // Mixed strategy (iPad, Section 5.1.3): typical cycles are short, but the
+  // session periodically re-enters a buffering phase — very large chunks on
+  // top of many successive connections.
+  const double max_block = *std::max_element(analysis.block_sizes_bytes.begin(),
+                                             analysis.block_sizes_bytes.end());
+  if (d.connections >= 5 && max_block >= 2.0 * kShortLongBoundaryBytes) {
+    d.strategy = Strategy::kMultiple;
+    d.rationale = "short cycles mixed with periodic buffering chunks over many connections";
+    return d;
+  }
+
+  d.strategy = Strategy::kShortOnOff;
+  d.rationale = "median steady-state block <= 2.5 MB";
+  return d;
+}
+
+}  // namespace vstream::analysis

@@ -1,0 +1,41 @@
+// Streaming-strategy classification (Section 3 / Table 1).
+//
+// The paper distinguishes the strategies by the existence of a steady-state
+// phase and by the block size transferred per ON period, with 2.5 MB as the
+// short/long boundary. The iPad YouTube client mixes strategies ("Multiple"
+// in Table 1): many successive range-request connections whose per-cycle
+// amounts straddle the boundary.
+#pragma once
+
+#include <string>
+
+#include "analysis/onoff.hpp"
+
+namespace vstream::analysis {
+
+enum class Strategy : std::uint8_t {
+  kNoOnOff,    ///< bulk TCP transfer, no steady state
+  kShortOnOff, ///< steady-state blocks <= 2.5 MB
+  kLongOnOff,  ///< steady-state blocks > 2.5 MB
+  kMultiple,   ///< combination of strategies (iPad, Section 5.1.3)
+};
+
+[[nodiscard]] std::string to_string(Strategy s);
+
+/// Paper's boundary between short and long ON-OFF cycles.
+inline constexpr double kShortLongBoundaryBytes = 2.5 * 1024 * 1024;
+
+struct StrategyDecision {
+  Strategy strategy{Strategy::kNoOnOff};
+  double median_block_bytes{0.0};
+  std::size_t cycles{0};
+  std::size_t connections{0};
+  std::string rationale;
+};
+
+/// Classify from an ON/OFF analysis plus the owning trace (the trace
+/// supplies the connection count used to spot the multi-connection mix).
+[[nodiscard]] StrategyDecision classify_strategy(const OnOffAnalysis& analysis,
+                                                 const capture::PacketTrace& trace);
+
+}  // namespace vstream::analysis

@@ -1,0 +1,22 @@
+// CSV export of packet traces and derived series, for external plotting of
+// the figures the benches print as tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "capture/trace.hpp"
+
+namespace vstream::capture {
+
+/// One row per packet: t_s,dir,conn,seq,ack,payload,window,flags,retx
+void write_packets_csv(const PacketTrace& trace, std::ostream& out);
+void write_packets_csv(const PacketTrace& trace, const std::string& path);
+
+/// One row per down-direction data packet: t_s,cumulative_bytes
+void write_download_curve_csv(const PacketTrace& trace, std::ostream& out);
+
+/// One row per up-direction packet: t_s,window_bytes
+void write_window_series_csv(const PacketTrace& trace, std::ostream& out);
+
+}  // namespace vstream::capture

@@ -1,0 +1,33 @@
+// Classic libpcap-format file I/O for packet traces.
+//
+// Traces are written as truncated captures (headers only, like
+// `tcpdump -s 54`): Ethernet + IPv4 + TCP headers with the payload length
+// reflected in the original-length field. Simulation metadata is packed
+// into legitimate header fields so a round trip preserves the analysis
+// inputs:
+//   - direction        -> IP addresses (server 10.0.0.1 <-> client 192.168.1.2)
+//   - connection id    -> client TCP port (10000 + id)
+//   - retransmission   -> IP identification field (1 = retransmission)
+//   - receive window   -> TCP window, scaled by 2^7 as if a window-scale
+//                         option had been negotiated (values round down to a
+//                         multiple of 128; zero stays zero)
+#pragma once
+
+#include <string>
+
+#include "capture/trace.hpp"
+
+namespace vstream::capture {
+
+/// TCP window scale applied when writing (as if WS=7 was negotiated).
+inline constexpr unsigned kPcapWindowShift = 7;
+
+/// Serialise the trace to `path` in pcap format. Throws on I/O failure.
+void write_pcap(const PacketTrace& trace, const std::string& path);
+
+/// Parse a pcap file written by `write_pcap` (or any capture of TCP over
+/// IPv4 over Ethernet). Label and encoding-rate metadata are not part of
+/// the format and are left for the caller to fill.
+[[nodiscard]] PacketTrace read_pcap(const std::string& path);
+
+}  // namespace vstream::capture

@@ -1,0 +1,59 @@
+#include "capture/recorder.hpp"
+
+namespace vstream::capture {
+
+TraceRecorder::TraceRecorder(sim::Simulator& sim, net::Path& path) : sim_{sim}, path_{&path} {
+  path_->set_tap([this](sim::SimTime t, const net::TcpSegment& s, net::Direction d,
+                        net::LinkEvent e) { on_event(t, s, d, e); });
+}
+
+TraceRecorder::~TraceRecorder() { detach(); }
+
+void TraceRecorder::detach() {
+  if (path_ != nullptr) {
+    path_->set_tap({});
+    path_ = nullptr;
+  }
+}
+
+void TraceRecorder::stop() {
+  recording_ = false;
+  trace_.duration_s = last_t_s_ - (first_t_s_ < 0.0 ? 0.0 : first_t_s_);
+}
+
+void TraceRecorder::on_event(sim::SimTime t, const net::TcpSegment& s, net::Direction d,
+                             net::LinkEvent e) {
+  if (!recording_) return;
+  // Viewer vantage: down segments are seen on delivery, up segments when
+  // the viewer's stack puts them on the wire.
+  const bool seen = (d == net::Direction::kDown && e == net::LinkEvent::kDeliver) ||
+                    (d == net::Direction::kUp && e == net::LinkEvent::kTransmit);
+  if (!seen) return;
+
+  const double ts = t.to_seconds();
+  if (first_t_s_ < 0.0) first_t_s_ = ts;
+  last_t_s_ = ts;
+
+  PacketRecord r;
+  r.t_s = ts;
+  r.direction = d;
+  r.connection_id = s.connection_id;
+  r.host = s.host;
+  r.seq = s.seq;
+  r.ack = s.ack;
+  r.payload_bytes = s.payload_bytes;
+  r.window_bytes = s.window_bytes;
+  r.flags = s.flags;
+  r.is_retransmission = s.is_retransmission;
+  trace_.packets.push_back(r);
+}
+
+PacketTrace TraceRecorder::take() {
+  stop();
+  PacketTrace out = std::move(trace_);
+  trace_ = PacketTrace{};
+  first_t_s_ = -1.0;
+  return out;
+}
+
+}  // namespace vstream::capture

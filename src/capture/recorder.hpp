@@ -1,0 +1,49 @@
+// Viewer-side packet capture, playing the role tcpdump/windump played in
+// the paper's methodology (Section 4.2).
+//
+// The recorder taps a Path and records segments as the viewer's NIC sees
+// them: down-direction segments when they are *delivered*, up-direction
+// segments when they are *transmitted*. Capture can be stopped (the paper
+// stopped after 180 s) independently of the simulation.
+#pragma once
+
+#include "capture/trace.hpp"
+#include "net/path.hpp"
+#include "sim/simulator.hpp"
+
+namespace vstream::capture {
+
+class TraceRecorder {
+ public:
+  /// Installs the tap. The recorder must outlive the path or be detached.
+  TraceRecorder(sim::Simulator& sim, net::Path& path);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void start() { recording_ = true; }
+  void stop();
+
+  /// Remove the tap from the path (automatic on destruction).
+  void detach();
+
+  [[nodiscard]] bool recording() const { return recording_; }
+  [[nodiscard]] PacketTrace& trace() { return trace_; }
+  [[nodiscard]] const PacketTrace& trace() const { return trace_; }
+
+  /// Take ownership of the recorded trace, stamping its duration.
+  [[nodiscard]] PacketTrace take();
+
+ private:
+  void on_event(sim::SimTime t, const net::TcpSegment& s, net::Direction d, net::LinkEvent e);
+
+  sim::Simulator& sim_;
+  net::Path* path_;
+  PacketTrace trace_;
+  bool recording_{false};
+  double first_t_s_{-1.0};
+  double last_t_s_{0.0};
+};
+
+}  // namespace vstream::capture

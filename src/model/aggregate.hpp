@@ -1,0 +1,88 @@
+// Aggregate video-streaming traffic model (Section 6.1).
+//
+// Streaming sessions arrive as a homogeneous Poisson process with rate
+// lambda; video n has encoding rate e_n, duration L_n (size S_n = e_n L_n)
+// and downloads at rate G_n while active. Following Barakat et al. (the
+// paper's Eq. 1-4):
+//
+//   E[R(t)] = lambda E[S_n]            = lambda E[e] E[L]          (3)
+//   Var R   = lambda E[int X^2]        = lambda E[e] E[L] E[G]     (4)
+//
+// and both are *independent of the streaming strategy* when downloads are
+// never interrupted — ON-OFF throttling stretches the transfer but leaves
+// the integral of X^2 unchanged. The Monte-Carlo engine below superposes
+// explicit per-flow rate functions for each strategy so the closed forms
+// (and the strategy-independence claim) can be validated numerically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/rng.hpp"
+
+namespace vstream::model {
+
+/// Closed-form inputs (independence of e, L, G assumed, as in the paper).
+struct AggregateParams {
+  double lambda_per_s{1.0};          ///< session arrival rate
+  double mean_encoding_bps{1e6};     ///< E[e]
+  double mean_duration_s{300.0};     ///< E[L]
+  double mean_download_rate_bps{5e6};///< E[G]
+};
+
+/// Eq (3): mean aggregate rate in bits/s.
+[[nodiscard]] double mean_aggregate_rate_bps(const AggregateParams& p);
+
+/// Eq (4): variance of the aggregate rate in (bits/s)^2.
+[[nodiscard]] double variance_aggregate_rate(const AggregateParams& p);
+
+/// Dimensioning rule from Section 6.1: E[R] + alpha * sqrt(Var R).
+[[nodiscard]] double dimension_link_bps(const AggregateParams& p, double alpha);
+
+/// Probability that the aggregate rate exceeds capacity C, under the
+/// Gaussian approximation of the superposed traffic (valid for many
+/// concurrent flows, the regime the dimensioning rule targets).
+[[nodiscard]] double overload_probability(const AggregateParams& p, double capacity_bps);
+
+/// Inverse of the above: the capacity needed so the aggregate exceeds it
+/// with probability at most `violation_probability` (e.g. 0.01).
+[[nodiscard]] double capacity_for_violation(const AggregateParams& p,
+                                            double violation_probability);
+
+/// Strategy shapes for the per-flow rate function.
+enum class ModelStrategy : std::uint8_t { kNoOnOff, kShortOnOff, kLongOnOff };
+
+struct MonteCarloConfig {
+  double lambda_per_s{1.0};
+  double horizon_s{2000.0};   ///< observation window after warm-up
+  double sample_dt_s{1.0};    ///< grid step for sampling R(t)
+  std::uint64_t seed{1};
+  ModelStrategy strategy{ModelStrategy::kNoOnOff};
+
+  /// Per-video draws. Defaults model a fixed-rate population.
+  std::function<double(sim::Rng&)> draw_encoding_bps;
+  std::function<double(sim::Rng&)> draw_duration_s;
+  std::function<double(sim::Rng&)> draw_download_rate_bps;  ///< G during ON
+
+  /// ON-OFF strategies only: steady-state rate = ratio x encoding rate and
+  /// buffering burst worth this much playback.
+  double accumulation_ratio{1.25};
+  double buffering_playback_s{40.0};
+  std::uint64_t block_bytes{64 * 1024};  ///< short: 64 kB; long: > 2.5 MB
+};
+
+struct MonteCarloResult {
+  double mean_bps{0.0};
+  double variance{0.0};
+  std::size_t samples{0};
+  std::size_t flows{0};
+  double mean_active_flows{0.0};
+};
+
+/// Superpose Poisson-arriving flows and sample the aggregate rate R(t) on a
+/// grid over [0, horizon). Flows arriving before the window that are still
+/// active contribute (steady state), via a warm-up interval.
+[[nodiscard]] MonteCarloResult run_aggregate_monte_carlo(const MonteCarloConfig& config);
+
+}  // namespace vstream::model

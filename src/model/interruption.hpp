@@ -1,0 +1,65 @@
+// User-interruption model (Section 6.2): unused bytes and wasted bandwidth.
+//
+// The viewer abandons video n after watching a fraction beta_n of its
+// duration L_n. With buffering amount B_n = e_n B'_n (B'_n seconds of
+// playback) and steady-state download rate G_n = k_n e_n:
+//
+//   download still in progress at the interruption iff
+//       e L > B + G tau  >=  e tau                          (5)/(6)
+//   equivalently  B' < L (1 - k beta)                       (7)
+//
+//   unused bytes  = min(B + G tau, e L) - e tau             (8)
+//   E[R'(t)]      = lambda E[e] E[min(B' + k beta L, L) - beta L]   (9)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/rng.hpp"
+
+namespace vstream::model {
+
+struct InterruptionParams {
+  double encoding_bps{1e6};        ///< e
+  double duration_s{300.0};        ///< L
+  double buffered_playback_s{40.0};///< B' (B = e B' / 8 bytes)
+  double accumulation_ratio{1.25}; ///< k (G = k e)
+  double beta{0.2};                ///< fraction watched before interruption
+};
+
+/// Left side of Eq (7): true when the whole video is downloaded *before*
+/// the viewer interrupts (the bad case for unused bytes).
+[[nodiscard]] bool downloads_whole_video_before_interruption(const InterruptionParams& p);
+
+/// Critical duration from Eq (7) with equality: videos shorter than this
+/// are fully downloaded before beta of them has been watched. The paper's
+/// worked example (B'=40 s, k=1.25, beta=0.2) gives 53.3 s.
+[[nodiscard]] double critical_duration_s(double buffered_playback_s, double accumulation_ratio,
+                                         double beta);
+
+/// Eq (8) numerator for one video: bytes downloaded but never watched.
+[[nodiscard]] double unused_bytes(const InterruptionParams& p);
+
+/// Eq (9) with deterministic parameters: average wasted bandwidth (bits/s)
+/// across a Poisson population at rate lambda.
+[[nodiscard]] double wasted_bandwidth_bps(double lambda_per_s, const InterruptionParams& p);
+
+/// Eq (9) with distributions: Monte-Carlo expectation over (e, L, beta).
+struct WasteMonteCarloConfig {
+  double lambda_per_s{1.0};
+  std::size_t draws{100000};
+  std::uint64_t seed{7};
+  double buffered_playback_s{40.0};
+  double accumulation_ratio{1.25};
+  std::function<double(sim::Rng&)> draw_encoding_bps;
+  std::function<double(sim::Rng&)> draw_duration_s;
+  std::function<double(sim::Rng&)> draw_beta;
+};
+struct WasteEstimate {
+  double wasted_bps{0.0};          ///< E[R'(t)]
+  double useful_bps{0.0};          ///< lambda E[e beta L]: bytes actually watched
+  double waste_fraction{0.0};      ///< wasted / (wasted + useful)
+};
+[[nodiscard]] WasteEstimate estimate_wasted_bandwidth(const WasteMonteCarloConfig& config);
+
+}  // namespace vstream::model

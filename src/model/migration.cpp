@@ -1,0 +1,119 @@
+#include "model/migration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "video/viewing.hpp"
+
+namespace vstream::model {
+
+StrategyProfile StrategyProfile::youtube_flash(double share) {
+  return StrategyProfile{"Flash (Short, server-paced)", share, 40.0, 1.25, 1.0e6, 300.0};
+}
+
+StrategyProfile StrategyProfile::html5_ie(double share) {
+  // IE buffers 10-15 MB regardless of the rate; ~12.5 MB at 1 Mbps is
+  // ~100 s of playback.
+  return StrategyProfile{"HTML5/IE (Short, client-pull)", share, 100.0, 1.06, 1.0e6, 300.0};
+}
+
+StrategyProfile StrategyProfile::html5_chrome(double share) {
+  return StrategyProfile{"HTML5/Chrome (Long)", share, 100.0, 1.34, 1.0e6, 300.0};
+}
+
+StrategyProfile StrategyProfile::mobile_android(double share) {
+  // Android buffers 4-8 MB (~48 s at 1 Mbps) with ratio ~1.24.
+  return StrategyProfile{"Mobile/Android (Long)", share, 48.0, 1.24, 1.0e6, 300.0};
+}
+
+StrategyProfile StrategyProfile::bulk_hd(double share) {
+  // No ON-OFF: the whole video is "buffered"; B' = L, and the rate is HD.
+  return StrategyProfile{"Flash HD (No ON-OFF, bulk)", share, 300.0, 1.25, 3.0e6, 300.0};
+}
+
+double MigrationScenario::total_share() const {
+  double s = 0.0;
+  for (const auto& p : mix) s += p.share;
+  return s;
+}
+
+ScenarioImpact evaluate_scenario(const MigrationScenario& scenario, std::size_t draws,
+                                 std::uint64_t seed) {
+  if (scenario.mix.empty()) throw std::invalid_argument{"evaluate_scenario: empty mix"};
+  const double total = scenario.total_share();
+  if (total <= 0.0) throw std::invalid_argument{"evaluate_scenario: zero total share"};
+
+  ScenarioImpact impact;
+  double variance = 0.0;
+  for (const auto& profile : scenario.mix) {
+    const double lambda_i = scenario.lambda_per_s * profile.share / total;
+    AggregateParams p;
+    p.lambda_per_s = lambda_i;
+    p.mean_encoding_bps = profile.mean_encoding_bps;
+    p.mean_duration_s = profile.mean_duration_s;
+    // G is the download rate *during ON periods*, i.e. the end-to-end
+    // available bandwidth — the same for every strategy (Section 6.1's
+    // overprovisioning assumption). A typical 20 Mbps access link.
+    p.mean_download_rate_bps = 20e6;
+    impact.mean_rate_bps += mean_aggregate_rate_bps(p);
+    variance += variance_aggregate_rate(p);  // independent segments add
+
+    WasteMonteCarloConfig waste;
+    waste.lambda_per_s = lambda_i;
+    waste.draws = draws;
+    waste.seed = seed + static_cast<std::uint64_t>(profile.share * 1000.0);
+    waste.buffered_playback_s = profile.buffered_playback_s;
+    waste.accumulation_ratio = profile.accumulation_ratio;
+    const double e = profile.mean_encoding_bps;
+    const double l = profile.mean_duration_s;
+    waste.draw_encoding_bps = [e](sim::Rng& r) { return r.uniform(0.5 * e, 1.5 * e); };
+    waste.draw_duration_s = [l](sim::Rng& r) {
+      return std::clamp(r.lognormal(std::log(l * 0.7), 0.8), 30.0, 3600.0);
+    };
+    waste.draw_beta = [l](sim::Rng& r) {
+      static const video::ViewingModel kViewing;
+      return std::min(0.999, kViewing.draw_watch_fraction(r, l));
+    };
+    const auto est = estimate_wasted_bandwidth(waste);
+    impact.wasted_bps += est.wasted_bps;
+  }
+  impact.rate_sd_bps = std::sqrt(variance);
+  const double denom = impact.mean_rate_bps;
+  impact.waste_fraction = denom > 0.0 ? impact.wasted_bps / denom : 0.0;
+  return impact;
+}
+
+std::vector<MigrationScenario> paper_conclusion_scenarios(double lambda_per_s) {
+  std::vector<MigrationScenario> scenarios;
+
+  MigrationScenario status_quo;
+  status_quo.name = "2011 status quo (Flash-dominant)";
+  status_quo.lambda_per_s = lambda_per_s;
+  status_quo.mix = {StrategyProfile::youtube_flash(0.80), StrategyProfile::html5_ie(0.10),
+                    StrategyProfile::mobile_android(0.10)};
+  scenarios.push_back(std::move(status_quo));
+
+  MigrationScenario html5;
+  html5.name = "HTML5 migration (Flash retired)";
+  html5.lambda_per_s = lambda_per_s;
+  html5.mix = {StrategyProfile::html5_ie(0.45), StrategyProfile::html5_chrome(0.35),
+               StrategyProfile::mobile_android(0.20)};
+  scenarios.push_back(std::move(html5));
+
+  MigrationScenario mobile;
+  mobile.name = "mobile-heavy future";
+  mobile.lambda_per_s = lambda_per_s;
+  mobile.mix = {StrategyProfile::html5_ie(0.20), StrategyProfile::html5_chrome(0.20),
+                StrategyProfile::mobile_android(0.60)};
+  scenarios.push_back(std::move(mobile));
+
+  MigrationScenario hd;
+  hd.name = "HD migration (3x encoding rates)";
+  hd.lambda_per_s = lambda_per_s;
+  hd.mix = {StrategyProfile::bulk_hd(0.50), StrategyProfile::youtube_flash(0.50)};
+  scenarios.push_back(std::move(hd));
+
+  return scenarios;
+}
+
+}  // namespace vstream::model

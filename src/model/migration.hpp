@@ -1,0 +1,65 @@
+// Strategy-migration scenarios (the paper's conclusion).
+//
+// "A sudden change of application or container in a large population might
+// have a significant impact on the network traffic ... the most likely
+// being a change from Flash to HTML5 along with an increase in the use of
+// mobile devices."
+//
+// A scenario is a mix of strategy profiles, each with its buffering policy
+// (B', k) and encoding-rate population. Without interruptions the mean and
+// variance of the aggregate rate are strategy-independent (Section 6.1), so
+// the *migration impact* shows up in (a) the wasted bandwidth under viewer
+// interruptions and (b) the rate/variance shift when the migration also
+// changes encoding rates (e.g. HD). This module quantifies both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/aggregate.hpp"
+#include "model/interruption.hpp"
+
+namespace vstream::model {
+
+/// One population segment using a common strategy/policy.
+struct StrategyProfile {
+  std::string name;
+  double share{1.0};               ///< fraction of sessions [0,1]
+  double buffered_playback_s{40.0};///< B'
+  double accumulation_ratio{1.25}; ///< k
+  double mean_encoding_bps{1e6};
+  double mean_duration_s{300.0};
+
+  /// The 2011 client profiles, as measured in Section 5.
+  [[nodiscard]] static StrategyProfile youtube_flash(double share);
+  [[nodiscard]] static StrategyProfile html5_ie(double share);
+  [[nodiscard]] static StrategyProfile html5_chrome(double share);
+  [[nodiscard]] static StrategyProfile mobile_android(double share);
+  [[nodiscard]] static StrategyProfile bulk_hd(double share);
+};
+
+struct MigrationScenario {
+  std::string name;
+  double lambda_per_s{1.0};
+  std::vector<StrategyProfile> mix;  ///< shares should sum to ~1
+
+  [[nodiscard]] double total_share() const;
+};
+
+struct ScenarioImpact {
+  double mean_rate_bps{0.0};      ///< aggregate E[R], Eq (3) over the mix
+  double rate_sd_bps{0.0};        ///< sqrt of Eq (4) over the mix
+  double wasted_bps{0.0};         ///< Eq (9) with the Finamore viewing pattern
+  double waste_fraction{0.0};
+};
+
+/// Evaluate a scenario. `draws` controls the interruption Monte Carlo.
+[[nodiscard]] ScenarioImpact evaluate_scenario(const MigrationScenario& scenario,
+                                               std::size_t draws = 50000,
+                                               std::uint64_t seed = 17);
+
+/// The paper's motivating what-if: 2011 status quo (Flash-dominant) vs an
+/// HTML5 migration vs a mobile-heavy future, at the same arrival rate.
+[[nodiscard]] std::vector<MigrationScenario> paper_conclusion_scenarios(double lambda_per_s);
+
+}  // namespace vstream::model

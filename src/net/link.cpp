@@ -1,0 +1,68 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vstream::net {
+
+Link::Link(sim::Simulator& sim, Config config, std::unique_ptr<LossModel> loss, sim::Rng rng)
+    : sim_{sim}, config_{config}, loss_{std::move(loss)}, rng_{rng} {
+  if (config_.rate_bps <= 0.0) throw std::invalid_argument{"Link: rate must be positive"};
+  if (!loss_) loss_ = std::make_unique<NoLoss>();
+}
+
+void Link::notify(const TcpSegment& segment, LinkEvent event) {
+  if (tap_) tap_(sim_.now(), segment, event);
+}
+
+void Link::set_rate(double rate_bps) {
+  if (rate_bps <= 0.0) throw std::invalid_argument{"Link::set_rate: rate must be positive"};
+  config_.rate_bps = rate_bps;
+}
+
+sim::Duration Link::unloaded_latency(std::uint32_t payload_bytes) const {
+  TcpSegment probe;
+  probe.payload_bytes = payload_bytes;
+  return sim::transmission_time(probe.wire_bytes(), config_.rate_bps) + config_.prop_delay;
+}
+
+bool Link::send(const TcpSegment& segment) {
+  if (!receiver_) throw std::logic_error{"Link::send: receiver not set"};
+
+  const std::size_t wire = segment.wire_bytes();
+  if (queued_bytes_ + wire > config_.queue_limit_bytes) {
+    ++counters_.dropped_queue;
+    notify(segment, LinkEvent::kDropQueue);
+    return false;
+  }
+
+  ++counters_.enqueued;
+  queued_bytes_ += wire;
+  notify(segment, LinkEvent::kEnqueue);
+
+  const sim::SimTime start = std::max(sim_.now(), busy_until_);
+  const sim::SimTime tx_done = start + sim::transmission_time(wire, config_.rate_bps);
+  busy_until_ = tx_done;
+
+  const bool lost = loss_->should_drop(rng_);
+
+  // Serialisation completes: the segment leaves the queue.
+  sim_.schedule_at(tx_done, [this, segment, lost] {
+    queued_bytes_ -= segment.wire_bytes();
+    notify(segment, LinkEvent::kTransmit);
+    if (lost) {
+      ++counters_.dropped_loss;
+      notify(segment, LinkEvent::kDropLoss);
+      return;
+    }
+    sim_.schedule_after(config_.prop_delay, [this, segment] {
+      ++counters_.delivered;
+      counters_.bytes_delivered += segment.wire_bytes();
+      notify(segment, LinkEvent::kDeliver);
+      receiver_(segment);
+    });
+  });
+  return true;
+}
+
+}  // namespace vstream::net

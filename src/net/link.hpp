@@ -1,0 +1,86 @@
+// Unidirectional link: serialisation at a fixed rate, drop-tail queue,
+// propagation delay, and a pluggable stochastic loss model.
+//
+// A tap hook observes every link event (enqueue, transmit, deliver, drops)
+// so the capture module can play the role tcpdump played in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/loss_model.hpp"
+#include "net/segment.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace vstream::net {
+
+enum class LinkEvent : std::uint8_t {
+  kEnqueue,    ///< accepted into the transmit queue
+  kTransmit,   ///< serialisation onto the wire completed
+  kDeliver,    ///< arrived at the far end
+  kDropQueue,  ///< rejected: queue full
+  kDropLoss,   ///< lost on the wire (loss model)
+};
+
+class Link {
+ public:
+  struct Config {
+    double rate_bps{100e6};
+    sim::Duration prop_delay{sim::Duration::millis(10)};
+    std::size_t queue_limit_bytes{256 * 1024};
+  };
+
+  struct Counters {
+    std::uint64_t enqueued{0};
+    std::uint64_t delivered{0};
+    std::uint64_t dropped_queue{0};
+    std::uint64_t dropped_loss{0};
+    std::uint64_t bytes_delivered{0};
+  };
+
+  Link(sim::Simulator& sim, Config config, std::unique_ptr<LossModel> loss, sim::Rng rng);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Far-end delivery callback. Must be set before the first send.
+  void set_receiver(std::function<void(const TcpSegment&)> receiver) {
+    receiver_ = std::move(receiver);
+  }
+
+  /// Observation hook for capture; may be empty.
+  void set_tap(std::function<void(sim::SimTime, const TcpSegment&, LinkEvent)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  /// Offer a segment to the link. Returns false if dropped at the queue.
+  bool send(const TcpSegment& segment);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::size_t queued_bytes() const { return queued_bytes_; }
+
+  /// One-way latency of an empty link for a segment of `bytes` payload.
+  [[nodiscard]] sim::Duration unloaded_latency(std::uint32_t payload_bytes) const;
+
+  /// Change the serialisation rate mid-run (models congestion onset or
+  /// relief). Applies to packets enqueued from now on.
+  void set_rate(double rate_bps);
+
+ private:
+  void notify(const TcpSegment& segment, LinkEvent event);
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::unique_ptr<LossModel> loss_;
+  sim::Rng rng_;
+  std::function<void(const TcpSegment&)> receiver_;
+  std::function<void(sim::SimTime, const TcpSegment&, LinkEvent)> tap_;
+  sim::SimTime busy_until_{sim::SimTime::zero()};
+  std::size_t queued_bytes_{0};
+  Counters counters_;
+};
+
+}  // namespace vstream::net

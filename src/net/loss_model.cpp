@@ -1,0 +1,60 @@
+#include "net/loss_model.hpp"
+
+#include <stdexcept>
+
+namespace vstream::net {
+
+BernoulliLoss::BernoulliLoss(double p) : p_{p} {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument{"BernoulliLoss: p outside [0,1]"};
+}
+
+bool BernoulliLoss::should_drop(sim::Rng& rng) { return rng.bernoulli(p_); }
+
+GilbertElliottLoss::GilbertElliottLoss(Params params) : params_{params} {
+  const auto check = [](double p, const char* what) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument{std::string{"GilbertElliottLoss: "} + what};
+  };
+  check(params.p_good, "p_good outside [0,1]");
+  check(params.p_bad, "p_bad outside [0,1]");
+  check(params.p_good_to_bad, "p_good_to_bad outside [0,1]");
+  check(params.p_bad_to_good, "p_bad_to_good outside [0,1]");
+}
+
+bool GilbertElliottLoss::should_drop(sim::Rng& rng) {
+  // Transition first, then decide loss in the (new) current state.
+  if (bad_) {
+    if (rng.bernoulli(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.bernoulli(params_.p_good_to_bad)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? params_.p_bad : params_.p_good);
+}
+
+double GilbertElliottLoss::steady_state_loss() const {
+  const double denom = params_.p_good_to_bad + params_.p_bad_to_good;
+  if (denom <= 0.0) return params_.p_good;
+  const double pi_bad = params_.p_good_to_bad / denom;
+  return pi_bad * params_.p_bad + (1.0 - pi_bad) * params_.p_good;
+}
+
+std::unique_ptr<LossModel> make_loss(double bernoulli_p) {
+  if (bernoulli_p <= 0.0) return std::make_unique<NoLoss>();
+  return std::make_unique<BernoulliLoss>(bernoulli_p);
+}
+
+std::unique_ptr<LossModel> make_bursty_loss(double p, double burst_len) {
+  if (p <= 0.0) return std::make_unique<NoLoss>();
+  if (burst_len <= 1.0) return std::make_unique<BernoulliLoss>(p);
+  if (p >= 1.0) throw std::invalid_argument{"make_bursty_loss: p must be < 1"};
+  // Bad state drops everything and lasts burst_len packets on average; the
+  // good->bad transition rate is chosen so the long-run loss equals p:
+  //   pi_bad = g2b / (g2b + b2g) = p  =>  g2b = p * b2g / (1 - p).
+  GilbertElliottLoss::Params params;
+  params.p_good = 0.0;
+  params.p_bad = 1.0;
+  params.p_bad_to_good = 1.0 / burst_len;
+  params.p_good_to_bad = p * params.p_bad_to_good / (1.0 - p);
+  return std::make_unique<GilbertElliottLoss>(params);
+}
+
+}  // namespace vstream::net

@@ -1,0 +1,41 @@
+// Duplex path between a streaming server and a viewer.
+//
+// Wraps two `Link`s (down = server->client carrying video data, up =
+// client->server carrying requests and ACKs) built from a NetworkProfile.
+// All parallel TCP connections of one streaming session share the path, so
+// they contend for the same bottleneck queue, as in the real measurements.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/link.hpp"
+#include "net/profile.hpp"
+
+namespace vstream::net {
+
+class Path {
+ public:
+  Path(sim::Simulator& sim, const NetworkProfile& profile, sim::Rng& rng);
+
+  Path(const Path&) = delete;
+  Path& operator=(const Path&) = delete;
+
+  [[nodiscard]] Link& down() { return *down_; }
+  [[nodiscard]] Link& up() { return *up_; }
+
+  /// Base RTT for zero-payload segments with empty queues.
+  [[nodiscard]] sim::Duration unloaded_rtt() const;
+
+  [[nodiscard]] const NetworkProfile& profile() const { return profile_; }
+
+  /// Install a tap observing both directions, tagged with the direction.
+  void set_tap(std::function<void(sim::SimTime, const TcpSegment&, Direction, LinkEvent)> tap);
+
+ private:
+  NetworkProfile profile_;
+  std::unique_ptr<Link> down_;
+  std::unique_ptr<Link> up_;
+};
+
+}  // namespace vstream::net

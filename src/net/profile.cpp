@@ -1,0 +1,63 @@
+#include "net/profile.hpp"
+
+#include <stdexcept>
+
+namespace vstream::net {
+
+std::string_view vantage_name(Vantage v) {
+  switch (v) {
+    case Vantage::kResearch:
+      return "Research";
+    case Vantage::kResidence:
+      return "Residence";
+    case Vantage::kAcademic:
+      return "Academic";
+    case Vantage::kHome:
+      return "Home";
+  }
+  throw std::invalid_argument{"vantage_name: unknown vantage"};
+}
+
+NetworkProfile profile_for(Vantage v) {
+  // Rates come straight from Section 4.2; RTTs are representative
+  // access->CDN figures (France hosts were close to European CDN nodes, the
+  // US Academic network close to US nodes, cable adds last-mile latency).
+  // Loss rates are calibrated to reproduce the paper's retransmission
+  // medians (Section 5.1.1).
+  switch (v) {
+    case Vantage::kResearch:
+      return NetworkProfile{.name = "Research",
+                            .down_bps = 100e6,
+                            .up_bps = 100e6,
+                            .base_rtt = sim::Duration::millis(20),
+                            .loss_rate = 0.0002,
+                            .queue_bytes = 512 * 1024};
+    case Vantage::kResidence:
+      return NetworkProfile{.name = "Residence",
+                            .down_bps = 7.7e6,
+                            .up_bps = 1.2e6,
+                            .base_rtt = sim::Duration::millis(45),
+                            .loss_rate = 0.0102,
+                            .loss_burst_len = 4.0,
+                            .queue_bytes = 128 * 1024};
+    case Vantage::kAcademic:
+      return NetworkProfile{.name = "Academic",
+                            .down_bps = 100e6,
+                            .up_bps = 100e6,
+                            .base_rtt = sim::Duration::millis(15),
+                            .loss_rate = 0.0076,
+                            .loss_burst_len = 4.0,
+                            .queue_bytes = 512 * 1024};
+    case Vantage::kHome:
+      return NetworkProfile{.name = "Home",
+                            .down_bps = 20e6,
+                            .up_bps = 3e6,
+                            .base_rtt = sim::Duration::millis(30),
+                            .loss_rate = 0.001,
+                            .loss_burst_len = 2.0,
+                            .queue_bytes = 256 * 1024};
+  }
+  throw std::invalid_argument{"profile_for: unknown vantage"};
+}
+
+}  // namespace vstream::net

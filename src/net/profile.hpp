@@ -1,0 +1,46 @@
+// Vantage-network profiles.
+//
+// The paper measured from four locations (Section 4.2). These profiles model
+// each as an access bottleneck (down/up rate), a base round-trip time to the
+// streaming CDN, a drop-tail queue, and a random loss rate calibrated so the
+// simulated retransmission fraction lands near the paper's reported medians
+// (1.02% Residence, 0.76% Academic; negligible elsewhere).
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace vstream::net {
+
+enum class Vantage : std::uint8_t {
+  kResearch,   ///< France, 100 Mbps wired behind a 500 Mbps uplink
+  kResidence,  ///< France, 54 Mbps Wi-Fi behind 7.7/1.2 Mbps ADSL
+  kAcademic,   ///< USA, 100 Mbps wired behind a 1 Gbps uplink
+  kHome,       ///< USA, cable modem, 20/3 Mbps typical
+};
+
+inline constexpr std::array<Vantage, 4> kAllVantages{Vantage::kResearch, Vantage::kResidence,
+                                                     Vantage::kAcademic, Vantage::kHome};
+
+struct NetworkProfile {
+  std::string name;
+  double down_bps{0.0};
+  double up_bps{0.0};
+  sim::Duration base_rtt{sim::Duration::zero()};
+  double loss_rate{0.0};  ///< average per-packet wire loss on the down path
+  /// Mean number of consecutive drops per loss episode. 1 = independent
+  /// (Bernoulli) loss; >1 = bursty (Gilbert-Elliott), which matches how
+  /// real congestion episodes concentrate drops.
+  double loss_burst_len{1.0};
+  std::size_t queue_bytes{0};
+
+  [[nodiscard]] double down_mbps() const { return down_bps / 1e6; }
+};
+
+[[nodiscard]] NetworkProfile profile_for(Vantage v);
+[[nodiscard]] std::string_view vantage_name(Vantage v);
+
+}  // namespace vstream::net

@@ -1,0 +1,16 @@
+#include "net/segment.hpp"
+
+namespace vstream::net {
+
+std::string TcpSegment::flag_string() const {
+  std::string s;
+  if (has(TcpFlag::kSyn)) s += 'S';
+  if (has(TcpFlag::kFin)) s += 'F';
+  if (has(TcpFlag::kRst)) s += 'R';
+  if (has(TcpFlag::kPsh)) s += 'P';
+  if (has(TcpFlag::kAck)) s += 'A';
+  if (s.empty()) s = "-";
+  return s;
+}
+
+}  // namespace vstream::net

@@ -1,0 +1,67 @@
+// Wire-level TCP segment representation.
+//
+// Links transport these; TCP endpoints produce and consume them; the capture
+// module records them. Payload is modelled as a byte *count* — application
+// message contents travel out-of-band keyed by stream offset (see
+// tcp::TagChannel), the standard simulator idiom for bulk traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vstream::net {
+
+enum class TcpFlag : std::uint8_t {
+  kNone = 0,
+  kSyn = 1U << 0U,
+  kAck = 1U << 1U,
+  kFin = 1U << 2U,
+  kPsh = 1U << 3U,
+  kRst = 1U << 4U,
+};
+
+[[nodiscard]] constexpr TcpFlag operator|(TcpFlag a, TcpFlag b) {
+  return static_cast<TcpFlag>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr bool has_flag(TcpFlag set, TcpFlag f) {
+  return (static_cast<std::uint8_t>(set) & static_cast<std::uint8_t>(f)) != 0;
+}
+
+/// Direction of travel relative to the viewer (client): Down = server->client.
+enum class Direction : std::uint8_t { kDown, kUp };
+
+[[nodiscard]] constexpr Direction opposite(Direction d) {
+  return d == Direction::kDown ? Direction::kUp : Direction::kDown;
+}
+
+struct TcpSegment {
+  std::uint64_t connection_id{0};  ///< distinguishes parallel connections
+  std::uint64_t seq{0};            ///< first payload byte's stream offset
+  std::uint64_t ack{0};            ///< cumulative ack (next expected byte)
+  std::uint32_t payload_bytes{0};
+  std::uint64_t window_bytes{0};  ///< advertised receive window
+  TcpFlag flags{TcpFlag::kNone};
+  bool is_retransmission{false};  ///< sender-side annotation for the capture tap
+  /// Which server the connection talks to (0 = video CDN, 1+ = auxiliary
+  /// hosts). The capture surfaces this as the server address, which is how
+  /// the paper's analysis separated video from auxiliary traffic (§2).
+  std::uint8_t host{0};
+
+  /// SACK option: up to 3 received-but-not-acked ranges [start, end).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+
+  static constexpr std::uint32_t kHeaderBytes = 40;   // IPv4 (20) + TCP (20)
+  static constexpr std::size_t kMaxSackBlocks = 3;
+
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    // SACK option costs 2 bytes plus 8 per block, as on the real wire.
+    const auto sack_bytes = static_cast<std::uint32_t>(sack.empty() ? 0 : 2 + 8 * sack.size());
+    return payload_bytes + kHeaderBytes + sack_bytes;
+  }
+  [[nodiscard]] bool has(TcpFlag f) const { return has_flag(flags, f); }
+  [[nodiscard]] std::string flag_string() const;
+};
+
+}  // namespace vstream::net

@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vstream::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
+  if (at < now_) at = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle{cancelled};
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime limit) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled events without advancing the clock.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > limit) break;
+    if (step()) ++n;
+  }
+  if (now_ < limit) now_ = limit;
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace vstream::sim

@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// A `Simulator` owns a time-ordered event queue. Components schedule
+// callbacks at absolute or relative times; `run()` drains the queue in
+// timestamp order (FIFO among equal timestamps). Scheduled events can be
+// cancelled through the returned `EventHandle` without touching the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vstream::sim {
+
+/// Cancellation token for a scheduled event. Default-constructed handles are
+/// inert; `cancel()` on an already-fired or cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing. Safe to call at any time.
+  void cancel() {
+    if (auto p = state_.lock()) *p = true;
+  }
+
+  /// True while the event is still scheduled and not cancelled.
+  [[nodiscard]] bool pending() const {
+    auto p = state_.lock();
+    return p != nullptr && !*p;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> state) : state_{std::move(state)} {}
+  std::weak_ptr<bool> state_;  // points at the "cancelled" flag
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` from now. Negative delays clamp to now.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Run events until the queue is empty or `limit` is reached (events at
+  /// exactly `limit` still run). Returns the number of events processed.
+  std::uint64_t run_until(SimTime limit);
+
+  /// Run until the event queue is empty.
+  std::uint64_t run();
+
+  /// Process a single event if one is pending. Returns false when idle.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq{0};  // FIFO tie-break among equal timestamps
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{0};
+  std::uint64_t events_processed_{0};
+};
+
+}  // namespace vstream::sim

@@ -1,0 +1,105 @@
+// Simulation time types.
+//
+// Time is kept as integer nanoseconds to make event ordering deterministic
+// and free of floating-point drift; helpers convert to/from seconds for the
+// places (rates, statistics) where real-valued time is the natural unit.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace vstream::sim {
+
+/// A span of simulated time, in integer nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t ns) { return Duration{ns}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) { return Duration{us * 1'000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+/// An absolute instant on the simulation clock (nanoseconds since start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime from_nanos(std::int64_t ns) { return SimTime{ns}; }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.ns_ + d.count_nanos()};
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.ns_ - d.count_nanos()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  constexpr SimTime& operator+=(Duration d) {
+    ns_ += d.count_nanos();
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+/// Duration needed to serialise `bytes` onto a link of `bits_per_second`.
+[[nodiscard]] constexpr Duration transmission_time(std::uint64_t bytes, double bits_per_second) {
+  if (bits_per_second <= 0.0) return Duration::max();
+  const double seconds = static_cast<double>(bytes) * 8.0 / bits_per_second;
+  return Duration::seconds(seconds);
+}
+
+}  // namespace vstream::sim

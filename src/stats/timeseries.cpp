@@ -1,0 +1,64 @@
+#include "stats/timeseries.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vstream::stats {
+
+RateBinner::RateBinner(double t0, double t1, double dt) : t0_{t0}, dt_{dt} {
+  if (dt <= 0.0) throw std::invalid_argument{"RateBinner: dt must be positive"};
+  if (t1 <= t0) throw std::invalid_argument{"RateBinner: t1 must exceed t0"};
+  const auto bins = static_cast<std::size_t>(std::ceil((t1 - t0) / dt));
+  sums_.assign(bins, 0.0);
+}
+
+void RateBinner::add(double t, double amount) {
+  if (t < t0_) return;
+  const auto i = static_cast<std::size_t>((t - t0_) / dt_);
+  if (i >= sums_.size()) return;
+  sums_[i] += amount;
+}
+
+TimeSeries RateBinner::series() const {
+  TimeSeries ts;
+  ts.t0 = t0_;
+  ts.dt = dt_;
+  ts.values.reserve(sums_.size());
+  for (const double s : sums_) ts.values.push_back(s / dt_);
+  return ts;
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs, std::size_t max_lag) {
+  if (xs.size() < 4) return {};
+  const auto n = xs.size();
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  if (var <= 0.0) return {};
+
+  max_lag = std::min(max_lag, n - 1);
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) s += (xs[i] - mean) * (xs[i + k] - mean);
+    out.push_back(s / var);
+  }
+  return out;
+}
+
+std::size_t dominant_period_bins(std::span<const double> autocorr, double threshold) {
+  if (autocorr.size() < 3) return 0;
+  // First local maximum after the zero-lag peak that clears the threshold.
+  for (std::size_t k = 1; k + 1 < autocorr.size(); ++k) {
+    if (autocorr[k] > threshold && autocorr[k] >= autocorr[k - 1] &&
+        autocorr[k] >= autocorr[k + 1] && k > 1) {
+      return k;
+    }
+  }
+  return 0;
+}
+
+}  // namespace vstream::stats

@@ -1,0 +1,50 @@
+// Time-series utilities: binned rate series and autocorrelation.
+//
+// Used by the periodicity analysis (an independent estimator of ON-OFF
+// cycle duration) and by the empirical aggregate-traffic experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vstream::stats {
+
+/// Fixed-step time series, value per bin.
+struct TimeSeries {
+  double t0{0.0};
+  double dt{1.0};
+  std::vector<double> values;
+
+  [[nodiscard]] std::size_t size() const { return values.size(); }
+  [[nodiscard]] double t_at(std::size_t i) const { return t0 + dt * static_cast<double>(i); }
+};
+
+/// Accumulate (timestamp, amount) events into a binned rate series over
+/// [t0, t1): value = sum(amount in bin) / dt, i.e. a rate if `amount` is in
+/// units per event.
+class RateBinner {
+ public:
+  RateBinner(double t0, double t1, double dt);
+
+  void add(double t, double amount);
+
+  [[nodiscard]] TimeSeries series() const;
+
+ private:
+  double t0_;
+  double dt_;
+  std::vector<double> sums_;
+};
+
+/// Normalised autocorrelation r(k) for lags 0..max_lag (r(0) = 1). Returns
+/// an empty vector for constant or too-short series.
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs,
+                                                  std::size_t max_lag);
+
+/// The lag (> 0) of the highest autocorrelation peak, i.e. the dominant
+/// period in bins; 0 when no significant peak exists above `threshold`.
+[[nodiscard]] std::size_t dominant_period_bins(std::span<const double> autocorr,
+                                               double threshold = 0.1);
+
+}  // namespace vstream::stats

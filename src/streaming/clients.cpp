@@ -1,0 +1,87 @@
+#include "streaming/clients.hpp"
+
+#include <stdexcept>
+
+namespace vstream::streaming {
+namespace {
+
+void collect_responses(std::vector<std::any>& tags, std::vector<http::HttpResponse>& out) {
+  for (auto& t : tags) {
+    if (t.type() == typeid(http::HttpResponse)) {
+      out.push_back(std::any_cast<http::HttpResponse>(std::move(t)));
+    }
+  }
+}
+
+}  // namespace
+
+GreedyClient::GreedyClient(tcp::Endpoint& endpoint, ByteSink sink)
+    : endpoint_{endpoint}, sink_{std::move(sink)} {
+  endpoint_.set_on_readable([this] { drain(); });
+}
+
+void GreedyClient::drain() {
+  if (stopped_) return;
+  auto result = endpoint_.read(UINT64_MAX);
+  bytes_ += result.bytes;
+  collect_responses(result.tags, responses_);
+  if (sink_ && result.bytes > 0) sink_(result.bytes);
+}
+
+PullThrottleClient::PullThrottleClient(sim::Simulator& sim, tcp::Endpoint& endpoint, Config config,
+                                       ByteSink sink)
+    : sim_{sim},
+      endpoint_{endpoint},
+      config_{config},
+      sink_{std::move(sink)},
+      cycle_timer_{sim, sim::Duration::seconds(1.0), [this] { on_cycle(); }} {
+  if (config_.pull_quantum_bytes == 0) {
+    throw std::invalid_argument{"PullThrottleClient: zero pull quantum"};
+  }
+  if (config_.encoding_bps <= 0.0 || config_.accumulation_ratio <= 0.0) {
+    throw std::invalid_argument{"PullThrottleClient: bad rate parameters"};
+  }
+  const double steady_rate = config_.accumulation_ratio * config_.encoding_bps;
+  const double cycle_s = static_cast<double>(config_.pull_quantum_bytes) * 8.0 / steady_rate;
+  cycle_timer_.set_period(sim::Duration::seconds(cycle_s));
+  endpoint_.set_on_readable([this] { on_readable(); });
+}
+
+void PullThrottleClient::stop() {
+  stopped_ = true;
+  cycle_timer_.stop();
+}
+
+void PullThrottleClient::on_readable() {
+  if (stopped_) return;
+  if (!steady_) {
+    // Buffering phase: read greedily until the target.
+    auto result = endpoint_.read(UINT64_MAX);
+    bytes_ += result.bytes;
+    collect_responses(result.tags, responses_);
+    if (sink_ && result.bytes > 0) sink_(result.bytes);
+    if (bytes_ >= config_.buffering_target_bytes) {
+      steady_ = true;
+      allowance_ = 0;
+      cycle_timer_.start();  // first pull one cycle from now
+    }
+    return;
+  }
+  drain_allowance();
+}
+
+void PullThrottleClient::on_cycle() {
+  allowance_ += config_.pull_quantum_bytes;
+  drain_allowance();
+}
+
+void PullThrottleClient::drain_allowance() {
+  if (stopped_ || allowance_ == 0) return;
+  auto result = endpoint_.read(allowance_);
+  allowance_ -= result.bytes;
+  bytes_ += result.bytes;
+  collect_responses(result.tags, responses_);
+  if (sink_ && result.bytes > 0) sink_(result.bytes);
+}
+
+}  // namespace vstream::streaming

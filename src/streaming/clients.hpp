@@ -1,0 +1,87 @@
+// Client-side read policies (Section 5.1).
+//
+// The HTML5 measurements show the *application* throttles by controlling
+// how it reads from the TCP socket, which drives the advertised receive
+// window (Fig 2b, 6a):
+//   - GreedyClient reads everything as it arrives — Flash (server-paced)
+//     and bulk downloads (Firefox HTML5, Flash HD).
+//   - PullThrottleClient reads greedily during the buffering phase (until a
+//     byte target), then pulls a fixed quantum per cycle. Internet Explorer
+//     pulls 256 kB; Chrome and the Android app pull multi-megabyte quanta,
+//     producing long ON-OFF cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "http/message.hpp"
+#include "sim/periodic_timer.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace vstream::streaming {
+
+/// Byte sink fed by every client read (wired to Player::on_bytes_downloaded
+/// minus HTTP header bytes; header sizes are negligible but subtracted for
+/// exactness by the session layer).
+using ByteSink = std::function<void(std::uint64_t)>;
+
+class GreedyClient {
+ public:
+  GreedyClient(tcp::Endpoint& endpoint, ByteSink sink);
+
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_; }
+  /// Response heads seen so far (tags collected while reading).
+  [[nodiscard]] const std::vector<http::HttpResponse>& responses() const { return responses_; }
+
+  void stop() { stopped_ = true; }
+
+ private:
+  void drain();
+
+  tcp::Endpoint& endpoint_;
+  ByteSink sink_;
+  std::uint64_t bytes_{0};
+  std::vector<http::HttpResponse> responses_;
+  bool stopped_{false};
+};
+
+class PullThrottleClient {
+ public:
+  struct Config {
+    /// Read greedily until this many bytes, then switch to pulling.
+    std::uint64_t buffering_target_bytes{12 * 1024 * 1024};
+    /// Bytes pulled per steady-state cycle (the block size signature).
+    std::uint64_t pull_quantum_bytes{256 * 1024};
+    /// Steady-state average rate = ratio x encoding rate.
+    double accumulation_ratio{1.05};
+    double encoding_bps{1e6};
+  };
+
+  PullThrottleClient(sim::Simulator& sim, tcp::Endpoint& endpoint, Config config, ByteSink sink);
+
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_; }
+  [[nodiscard]] bool in_steady_state() const { return steady_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const std::vector<http::HttpResponse>& responses() const { return responses_; }
+
+  void stop();
+
+ private:
+  void on_readable();
+  void on_cycle();
+  void drain_allowance();
+
+  sim::Simulator& sim_;
+  tcp::Endpoint& endpoint_;
+  Config config_;
+  ByteSink sink_;
+  sim::PeriodicTimer cycle_timer_;
+  std::uint64_t bytes_{0};
+  std::uint64_t allowance_{0};  ///< steady-state read budget
+  bool steady_{false};
+  bool stopped_{false};
+  std::vector<http::HttpResponse> responses_;
+};
+
+}  // namespace vstream::streaming

@@ -1,0 +1,129 @@
+#include "streaming/fetch.hpp"
+
+#include <stdexcept>
+
+namespace vstream::streaming {
+
+FetchManager::FetchManager(sim::Simulator& sim, tcp::Fabric& fabric, video::VideoMeta video,
+                           tcp::TcpOptions client_options, tcp::TcpOptions server_options)
+    : sim_{sim},
+      fabric_{fabric},
+      video_{std::move(video)},
+      client_options_{client_options},
+      server_options_{server_options} {}
+
+void FetchManager::stop() { stopped_ = true; }
+
+void FetchManager::fetch_range(http::ByteRange range, ByteSink sink,
+                               std::function<void()> on_done) {
+  if (stopped_) return;
+  auto& conn = fabric_.create_connection(client_options_, server_options_);
+  ++connections_opened_;
+  auto server =
+      std::make_unique<VideoStreamServer>(sim_, conn.server(), video_, ServerPacing::bulk());
+  start_fetch(conn, std::move(server), range, std::move(sink), std::move(on_done));
+}
+
+void FetchManager::start_fetch(tcp::Connection& conn, std::unique_ptr<VideoStreamServer> server,
+                               http::ByteRange range, ByteSink sink,
+                               std::function<void()> on_done) {
+  auto fetch = std::make_unique<Fetch>();
+  fetch->connection = &conn;
+  fetch->server = std::move(server);
+  fetch->expected_body = range.length();
+  fetch->sink = std::move(sink);
+  fetch->on_done = std::move(on_done);
+
+  Fetch* raw = fetch.get();
+  fetches_.push_back(std::move(fetch));
+
+  conn.client().set_on_readable([this, raw] { on_readable(*raw); });
+  conn.client().set_on_established([this, raw, range] {
+    http::HttpClient client{raw->connection->client()};
+    client.send_request(http::make_video_request(video_.id, range));
+  });
+  conn.open();
+}
+
+void FetchManager::fetch_range_persistent(http::ByteRange range, ByteSink sink,
+                                          std::function<void()> on_done) {
+  if (stopped_) return;
+  const bool first_use = persistent_ == nullptr;
+  if (first_use) {
+    persistent_ = &fabric_.create_connection(client_options_, server_options_);
+    ++connections_opened_;
+    persistent_server_ = std::make_unique<VideoStreamServer>(sim_, persistent_->server(), video_,
+                                                             ServerPacing::bulk());
+  }
+
+  auto fetch = std::make_unique<Fetch>();
+  fetch->connection = persistent_;
+  fetch->expected_body = range.length();
+  fetch->sink = std::move(sink);
+  fetch->on_done = std::move(on_done);
+  Fetch* raw = fetch.get();
+  fetches_.push_back(std::move(fetch));
+  persistent_queue_.push_back(raw);
+
+  const auto issue = [this, raw, range] {
+    raw->read_before = persistent_->client().total_read();
+    http::HttpClient client{persistent_->client()};
+    client.send_request(http::make_video_request(video_.id, range));
+  };
+
+  if (first_use) {
+    persistent_->client().set_on_readable([this] {
+      if (!persistent_queue_.empty()) on_readable(*persistent_queue_.front());
+    });
+    persistent_->client().set_on_established(issue);
+    persistent_->open();
+  } else if (persistent_queue_.size() == 1 &&
+             persistent_->client().state() == tcp::TcpState::kEstablished) {
+    // Idle established connection: issue immediately. Otherwise the fetch
+    // is issued when its predecessor completes.
+    issue();
+  }
+}
+
+void FetchManager::on_readable(Fetch& fetch) {
+  if (stopped_ || fetch.done) return;
+  auto& endpoint = fetch.connection->client();
+  auto result = endpoint.read(UINT64_MAX);
+  for (auto& t : result.tags) {
+    if (t.type() == typeid(http::HttpResponse)) {
+      const auto head = std::any_cast<http::HttpResponse>(std::move(t));
+      fetch.head_bytes = head.wire_size();
+      fetch.head_seen = true;
+    }
+  }
+  if (!fetch.head_seen) return;
+
+  const std::uint64_t stream_read = endpoint.total_read() - fetch.read_before;
+  const std::uint64_t body_now =
+      stream_read > fetch.head_bytes ? stream_read - fetch.head_bytes : 0;
+  if (body_now > fetch.body_delivered) {
+    const std::uint64_t delta = body_now - fetch.body_delivered;
+    fetch.body_delivered = body_now;
+    body_bytes_ += delta;
+    if (fetch.sink) fetch.sink(delta);
+  }
+  if (fetch.body_delivered >= fetch.expected_body) {
+    fetch.done = true;
+    // Persistent mode: move on to the queued successor.
+    if (fetch.connection == persistent_ && !persistent_queue_.empty() &&
+        persistent_queue_.front() == &fetch) {
+      persistent_queue_.erase(persistent_queue_.begin());
+      if (!persistent_queue_.empty()) {
+        Fetch* next = persistent_queue_.front();
+        next->read_before = persistent_->client().total_read();
+        http::HttpClient client{persistent_->client()};
+        http::ByteRange range{0, next->expected_body - 1};
+        // Offsets are irrelevant to traffic shape; length drives bytes.
+        client.send_request(http::make_video_request(video_.id, range));
+      }
+    }
+    if (fetch.on_done) fetch.on_done();
+  }
+}
+
+}  // namespace vstream::streaming

@@ -1,0 +1,76 @@
+// Range-request fetch machinery over fresh or reused TCP connections.
+//
+// The iPad YouTube client fetched one video with up to 37 successive TCP
+// connections carrying ranged GETs (Section 5.1.3); Netflix used "a large
+// number of TCP connections" per session (Section 5.2.2) and showed an ack
+// clock exactly when a block rode a fresh connection. `FetchManager` gives
+// the clients both modes: a fresh connection per fetch, or a persistent
+// connection issuing successive ranged GETs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "http/exchange.hpp"
+#include "streaming/clients.hpp"
+#include "streaming/video_server.hpp"
+#include "tcp/connection.hpp"
+#include "video/metadata.hpp"
+
+namespace vstream::streaming {
+
+class FetchManager {
+ public:
+  FetchManager(sim::Simulator& sim, tcp::Fabric& fabric, video::VideoMeta video,
+               tcp::TcpOptions client_options, tcp::TcpOptions server_options);
+
+  /// Fetch `range` on a *fresh* connection. `sink` receives body bytes as
+  /// they are read; `on_done` fires once the full range has been read.
+  void fetch_range(http::ByteRange range, ByteSink sink, std::function<void()> on_done);
+
+  /// Fetch `range` on the persistent connection (created on first use).
+  void fetch_range_persistent(http::ByteRange range, ByteSink sink,
+                              std::function<void()> on_done);
+
+  /// Abort all activity (viewer interruption).
+  void stop();
+
+  [[nodiscard]] std::size_t connections_opened() const { return connections_opened_; }
+  [[nodiscard]] std::uint64_t body_bytes_fetched() const { return body_bytes_; }
+
+ private:
+  struct Fetch {
+    tcp::Connection* connection{nullptr};
+    std::unique_ptr<VideoStreamServer> server;  ///< empty for persistent reuse
+    std::uint64_t expected_body{0};
+    std::uint64_t head_bytes{0};
+    bool head_seen{false};
+    std::uint64_t body_delivered{0};
+    std::uint64_t read_before{0};  ///< endpoint total_read at fetch start
+    ByteSink sink;
+    std::function<void()> on_done;
+    bool done{false};
+  };
+
+  void start_fetch(tcp::Connection& conn, std::unique_ptr<VideoStreamServer> server,
+                   http::ByteRange range, ByteSink sink, std::function<void()> on_done);
+  void on_readable(Fetch& fetch);
+
+  sim::Simulator& sim_;
+  tcp::Fabric& fabric_;
+  video::VideoMeta video_;
+  tcp::TcpOptions client_options_;
+  tcp::TcpOptions server_options_;
+
+  std::vector<std::unique_ptr<Fetch>> fetches_;
+  tcp::Connection* persistent_{nullptr};
+  std::unique_ptr<VideoStreamServer> persistent_server_;
+  std::vector<Fetch*> persistent_queue_;  ///< fetches pending on the persistent conn
+  std::size_t connections_opened_{0};
+  std::uint64_t body_bytes_{0};
+  bool stopped_{false};
+};
+
+}  // namespace vstream::streaming

@@ -1,0 +1,71 @@
+// Native iPad YouTube client (Section 5.1.3, Fig 7).
+//
+// The paper saw this client fetch one video over dozens of successive TCP
+// connections carrying ranged GETs (37 in the first 60 s for Video1), with
+// per-connection amounts from 64 kB to 8 MB: large chunks during periodic
+// buffering, then paced block fetches whose size grows with the encoding
+// rate — a *combination* of strategies ("Multiple" in Table 1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "streaming/fetch.hpp"
+
+namespace vstream::streaming {
+
+class IpadYouTubeClient {
+ public:
+  struct Config {
+    std::uint64_t initial_buffer_bytes{10 * 1024 * 1024};
+    std::uint64_t buffering_chunk_bytes{8 * 1024 * 1024};
+    /// Steady-state block carries this much playback time; the byte size
+    /// therefore scales with the encoding rate (Fig 7b).
+    double block_playback_s{3.5};
+    std::uint64_t min_block_bytes{64 * 1024};
+    std::uint64_t max_block_bytes{8 * 1024 * 1024};
+    double accumulation_ratio{1.2};
+    /// Every this-many steady cycles the client re-buffers with one large
+    /// chunk instead of a paced block — the "periodic buffering followed by
+    /// short ON-OFF cycles" pattern of the paper's Video1 (Fig 7a).
+    std::uint32_t rebuffer_every_cycles{8};
+    std::uint64_t rebuffer_chunk_bytes{6 * 1024 * 1024};
+    /// Below this encoding rate the client behaves like the paper's Video2:
+    /// one persistent connection, plain short cycles, no re-buffering.
+    double single_connection_below_bps{0.5e6};
+  };
+
+  IpadYouTubeClient(sim::Simulator& sim, FetchManager& fetches, const video::VideoMeta& video,
+                    Config config, ByteSink sink);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t block_bytes() const { return block_bytes_; }
+  [[nodiscard]] std::uint64_t bytes_fetched() const { return fetched_; }
+  [[nodiscard]] bool in_steady_state() const { return steady_; }
+  /// True in the paper's Video2 regime (one persistent connection).
+  [[nodiscard]] bool single_connection_mode() const { return single_connection_; }
+
+ private:
+  void fetch_next_buffering_chunk();
+  void on_cycle();
+
+  sim::Simulator& sim_;
+  FetchManager& fetches_;
+  Config config_;
+  ByteSink sink_;
+  std::uint64_t video_bytes_;
+  std::uint64_t block_bytes_;
+  sim::PeriodicTimer cycle_timer_;
+  std::uint64_t offset_{0};
+  std::uint64_t fetched_{0};
+  std::uint32_t cycle_count_{0};
+  std::uint32_t skip_cycles_{0};
+  bool single_connection_{false};
+  bool steady_{false};
+  bool stopped_{false};
+  bool fetch_in_flight_{false};
+};
+
+}  // namespace vstream::streaming

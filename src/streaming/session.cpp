@@ -1,0 +1,288 @@
+#include "streaming/session.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "capture/recorder.hpp"
+#include "http/exchange.hpp"
+#include "net/path.hpp"
+#include "streaming/auxiliary.hpp"
+#include "streaming/clients.hpp"
+#include "streaming/fetch.hpp"
+#include "streaming/ipad_client.hpp"
+#include "streaming/netflix_client.hpp"
+#include "streaming/video_server.hpp"
+#include "tcp/connection.hpp"
+#include "video/container_header.hpp"
+
+namespace vstream::streaming {
+
+using video::Container;
+
+std::string to_string(Service s) {
+  return s == Service::kYouTube ? "YouTube" : "Netflix";
+}
+
+std::string to_string(Application a) {
+  switch (a) {
+    case Application::kInternetExplorer:
+      return "IE";
+    case Application::kFirefox:
+      return "Firefox";
+    case Application::kChrome:
+      return "Chrome";
+    case Application::kIosNative:
+      return "iOS";
+    case Application::kAndroidNative:
+      return "Android";
+  }
+  return "?";
+}
+
+bool combination_supported(Service service, Container container, Application application) {
+  const bool mobile =
+      application == Application::kIosNative || application == Application::kAndroidNative;
+  if (service == Service::kNetflix) {
+    // Netflix is Silverlight on PCs and the native app on mobiles.
+    return container == Container::kSilverlight;
+  }
+  switch (container) {
+    case Container::kFlash:
+    case Container::kFlashHd:
+      return !mobile;  // Table 1: "Not Applicable" for native mobile apps
+    case Container::kHtml5:
+      return true;
+    case Container::kSilverlight:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+net::NetworkProfile jittered(const SessionConfig& cfg, sim::Rng& rng) {
+  auto profile = cfg.network;
+  if (cfg.bandwidth_jitter > 0.0) {
+    const double lo = std::clamp(1.0 - cfg.bandwidth_jitter, 0.05, 1.0);
+    const double scale = rng.fork("bandwidth").uniform(lo, 1.0);
+    profile.down_bps *= scale;
+    profile.up_bps *= scale;
+  }
+  return profile;
+}
+
+struct World {
+  explicit World(const SessionConfig& cfg)
+      : rng{cfg.seed},
+        path{sim, jittered(cfg, rng), rng},
+        fabric{sim, path},
+        recorder{sim, path} {
+    recorder.start();
+  }
+
+  sim::Simulator sim;
+  sim::Rng rng;
+  net::Path path;
+  tcp::Fabric fabric;
+  capture::TraceRecorder recorder;
+};
+
+tcp::TcpOptions client_options_with_buffer(std::uint64_t recv_bytes) {
+  tcp::TcpOptions o;
+  o.recv_buffer_bytes = recv_bytes;
+  return o;
+}
+
+/// Deferred player wiring: clients need a sink before the player exists in
+/// some flows (Netflix selects its rate first).
+struct PlayerCell {
+  Player* player{nullptr};
+  [[nodiscard]] ByteSink sink() {
+    return [this](std::uint64_t n) {
+      if (player != nullptr) player->on_bytes_downloaded(n);
+    };
+  }
+};
+
+}  // namespace
+
+SessionResult run_session(const SessionConfig& cfg) {
+  if (!combination_supported(cfg.service, cfg.container, cfg.application)) {
+    throw std::invalid_argument{"run_session: combination not applicable (Table 1)"};
+  }
+  if (cfg.video.encoding_bps <= 0.0 || cfg.video.duration_s <= 0.0) {
+    throw std::invalid_argument{"run_session: invalid video metadata"};
+  }
+
+  World w{cfg};
+  sim::Rng knob_rng = w.rng.fork("session-knobs");
+  PlayerCell cell;
+
+  // Objects created per combination; all owned here so they outlive the run.
+  std::unique_ptr<VideoStreamServer> server;
+  std::unique_ptr<GreedyClient> greedy;
+  std::unique_ptr<PullThrottleClient> pull;
+  std::unique_ptr<FetchManager> fetches;
+  std::unique_ptr<IpadYouTubeClient> ipad;
+  std::unique_ptr<NetflixClient> netflix;
+  std::unique_ptr<AuxiliaryTraffic> auxiliary;
+  tcp::Connection* conn = nullptr;
+
+  if (cfg.auxiliary_traffic) {
+    auxiliary = std::make_unique<AuxiliaryTraffic>(w.sim, w.fabric, AuxiliaryTraffic::Config{},
+                                                   w.rng.fork("auxiliary"));
+    auxiliary->start();
+  }
+
+  double player_rate_bps = cfg.video.encoding_bps;
+  const auto mb = [](double x) { return static_cast<std::uint64_t>(x * 1024 * 1024); };
+
+  const auto open_single_connection = [&](std::uint64_t client_recv_bytes,
+                                          ServerPacing pacing) {
+    tcp::TcpOptions server_tcp;
+    server_tcp.reset_cwnd_after_idle = cfg.server_idle_cwnd_reset;
+    conn = &w.fabric.create_connection(client_options_with_buffer(client_recv_bytes), server_tcp);
+    server = std::make_unique<VideoStreamServer>(w.sim, conn->server(), cfg.video, pacing);
+    tcp::Connection* c = conn;
+    const std::string id = cfg.video.id;
+    conn->client().set_on_established([c, id] {
+      http::HttpClient http{c->client()};
+      http.send_request(http::make_video_request(id));
+    });
+  };
+
+  if (cfg.service == Service::kYouTube) {
+    switch (cfg.container) {
+      case Container::kFlash: {
+        // Server-paced push: ~40 s burst, 64 kB blocks, ratio 1.25.
+        auto pacing = ServerPacing::youtube_flash();
+        pacing.initial_burst_playback_s = 40.0 * knob_rng.uniform(0.85, 1.15);
+        open_single_connection(512 * 1024, pacing);
+        greedy = std::make_unique<GreedyClient>(conn->client(), cell.sink());
+        conn->open();
+        break;
+      }
+      case Container::kFlashHd: {
+        // Bulk transfer: nobody throttles HD Flash (Fig 8).
+        open_single_connection(512 * 1024, ServerPacing::bulk());
+        greedy = std::make_unique<GreedyClient>(conn->client(), cell.sink());
+        conn->open();
+        break;
+      }
+      case Container::kHtml5: {
+        if (cfg.application == Application::kFirefox) {
+          // Firefox HTML5: bulk, no throttling anywhere.
+          open_single_connection(512 * 1024, ServerPacing::bulk());
+          greedy = std::make_unique<GreedyClient>(conn->client(), cell.sink());
+          conn->open();
+        } else if (cfg.application == Application::kIosNative) {
+          // iPad: successive ranged connections, mixed strategy.
+          IpadYouTubeClient::Config icfg;
+          icfg.initial_buffer_bytes = mb(knob_rng.uniform(8.0, 12.0));
+          fetches = std::make_unique<FetchManager>(w.sim, w.fabric, cfg.video,
+                                                   client_options_with_buffer(512 * 1024),
+                                                   tcp::TcpOptions{});
+          ipad = std::make_unique<IpadYouTubeClient>(w.sim, *fetches, cfg.video, icfg,
+                                                     cell.sink());
+          ipad->start();
+        } else {
+          // IE / Chrome / Android app: bulk server, client pull throttling.
+          PullThrottleClient::Config pcfg;
+          pcfg.encoding_bps = cfg.video.encoding_bps;
+          std::uint64_t recv_buffer = 0;
+          if (cfg.application == Application::kInternetExplorer) {
+            pcfg.buffering_target_bytes = mb(knob_rng.uniform(10.0, 15.0));
+            pcfg.pull_quantum_bytes = 256 * 1024;
+            pcfg.accumulation_ratio = 1.06;
+            recv_buffer = 256 * 1024;
+          } else if (cfg.application == Application::kChrome) {
+            pcfg.buffering_target_bytes = mb(knob_rng.uniform(10.0, 15.0));
+            pcfg.pull_quantum_bytes = mb(knob_rng.uniform(4.0, 10.0));
+            pcfg.accumulation_ratio = 1.34;
+            recv_buffer = 512 * 1024;
+          } else {  // Android native YouTube app
+            pcfg.buffering_target_bytes = mb(knob_rng.uniform(4.0, 8.0));
+            pcfg.pull_quantum_bytes = mb(knob_rng.uniform(2.8, 6.0));
+            pcfg.accumulation_ratio = 1.24;
+            recv_buffer = 512 * 1024;
+          }
+          open_single_connection(recv_buffer, ServerPacing::bulk());
+          pull = std::make_unique<PullThrottleClient>(w.sim, conn->client(), pcfg, cell.sink());
+          conn->open();
+        }
+        break;
+      }
+      case Container::kSilverlight:
+        throw std::logic_error{"run_session: unreachable (YouTube/Silverlight)"};
+    }
+  } else {
+    // Netflix: Silverlight on PCs, native app on mobiles.
+    NetflixClient::Profile profile = NetflixClient::Profile::pc();
+    tcp::TcpOptions server_opts;
+    if (cfg.application == Application::kIosNative) {
+      profile = NetflixClient::Profile::ipad();
+    } else if (cfg.application == Application::kAndroidNative) {
+      profile = NetflixClient::Profile::android();
+      // The long idle OFF periods of the Android app exceed the server RTO;
+      // the CDN's RFC 5681 idle restart shows as an ack clock (Fig 9/§5.2.2).
+      server_opts.reset_cwnd_after_idle = true;
+    }
+    fetches = std::make_unique<FetchManager>(
+        w.sim, w.fabric, cfg.video, client_options_with_buffer(512 * 1024), server_opts);
+    netflix = std::make_unique<NetflixClient>(w.sim, *fetches, cfg.video, profile,
+                                              cfg.network.down_bps, cell.sink());
+    player_rate_bps = netflix->selected_rate_bps();
+    netflix->start();
+  }
+
+  // Player: consumes at the (selected) encoding rate, may interrupt.
+  PlayerConfig player_cfg;
+  player_cfg.encoding_bps = player_rate_bps;
+  player_cfg.duration_s = cfg.video.duration_s;
+  player_cfg.watch_fraction = cfg.watch_fraction;
+  Player player{w.sim, player_cfg};
+  cell.player = &player;
+  player.set_on_interrupt([&] {
+    if (server) server->stop();
+    if (greedy) greedy->stop();
+    if (pull) pull->stop();
+    if (ipad) ipad->stop();
+    if (netflix) netflix->stop();
+    if (fetches) fetches->stop();
+  });
+
+  w.sim.run_until(sim::SimTime::from_seconds(cfg.capture_duration_s));
+
+  if (auxiliary) auxiliary->stop();
+
+  // Assemble the result the way the paper's pipeline would see it: the full
+  // capture, then the filter to the video CDN's connections (Section 2).
+  SessionResult result;
+  result.full_trace = w.recorder.take();
+  result.full_trace.label = to_string(cfg.service) + "/" + video::to_string(cfg.container) +
+                            "/" + to_string(cfg.application) + " @ " + cfg.network.name;
+  result.full_trace.duration_s = cfg.capture_duration_s;
+  result.trace = result.full_trace.only_host(0);
+
+  result.encoding_bps_true = player_rate_bps;
+  const auto header = video::make_header(cfg.video);
+  sim::Rng noise_rng = w.rng.fork("rate-estimate");
+  const double noise = noise_rng.lognormal(0.0, 0.15);
+  result.encoding_bps_estimated =
+      cfg.service == Service::kNetflix
+          ? player_rate_bps
+          : video::resolve_encoding_rate(header, cfg.video.size_bytes(), noise);
+  result.trace.encoding_bps = result.encoding_bps_estimated;
+
+  result.player = player.stats();
+  result.interrupted_at_s = result.player.interrupted ? result.player.interrupted_at_s : 0.0;
+  if (greedy) result.bytes_downloaded = greedy->bytes_read();
+  if (pull) result.bytes_downloaded = pull->bytes_read();
+  if (ipad) result.bytes_downloaded = ipad->bytes_fetched();
+  if (netflix) result.bytes_downloaded = netflix->bytes_fetched();
+  result.connections = result.trace.connection_count();
+  return result;
+}
+
+}  // namespace vstream::streaming

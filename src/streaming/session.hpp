@@ -1,0 +1,84 @@
+// Streaming-session orchestration: the executable form of Table 1.
+//
+// `run_session` builds a simulated world (vantage network, TCP fabric,
+// viewer-side capture), instantiates the server pacing discipline and the
+// client read policy that the paper observed for the requested
+// (service, container, application) combination, streams one video for the
+// capture duration (180 s in the paper), and returns the packet trace plus
+// player/transfer statistics. The analysis layer then treats the trace
+// exactly as the paper treated its tcpdump captures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "capture/trace.hpp"
+#include "net/profile.hpp"
+#include "streaming/player.hpp"
+#include "video/metadata.hpp"
+
+namespace vstream::streaming {
+
+enum class Service : std::uint8_t { kYouTube, kNetflix };
+
+enum class Application : std::uint8_t {
+  kInternetExplorer,
+  kFirefox,
+  kChrome,
+  kIosNative,
+  kAndroidNative,
+};
+
+[[nodiscard]] std::string to_string(Service s);
+[[nodiscard]] std::string to_string(Application a);
+
+/// True when the paper's Table 1 has an entry for this combination (e.g.
+/// Flash on native mobile apps is "Not Applicable").
+[[nodiscard]] bool combination_supported(Service service, video::Container container,
+                                         Application application);
+
+struct SessionConfig {
+  Service service{Service::kYouTube};
+  video::Container container{video::Container::kFlash};
+  Application application{Application::kInternetExplorer};
+  net::NetworkProfile network;
+  video::VideoMeta video;
+  double capture_duration_s{180.0};  ///< the paper stops capture after 180 s
+  /// Viewer interruption: fraction of the video watched before abandoning
+  /// (beta in Section 6.2); absent = never interrupt.
+  std::optional<double> watch_fraction;
+  std::uint64_t seed{1};
+  /// Ablation knob for the Fig 9 discussion: make the streaming server obey
+  /// RFC 5681's idle congestion-window restart (real CDNs did not).
+  bool server_idle_cwnd_reset{false};
+  /// Cross-traffic model: the session's available bandwidth is the profile
+  /// rate scaled by U[1-jitter, 1]. The paper's vantage links were shared
+  /// (500 Mbps / 1 Gbps uplinks), so per-session available bandwidth varied
+  /// substantially — this is what makes the bulk download rate of Fig 8
+  /// uncorrelated with the encoding rate.
+  double bandwidth_jitter{0.5};
+  /// Generate the auxiliary traffic of a real session (related-video
+  /// thumbnails, an advertisement, analytics beacons) on non-video hosts.
+  /// The analysis then has to filter to the video connections, as the
+  /// paper's methodology did (§2).
+  bool auxiliary_traffic{true};
+};
+
+struct SessionResult {
+  /// Video-CDN traffic only — what the paper analysed after filtering by
+  /// server address.
+  capture::PacketTrace trace;
+  /// Everything the viewer-side capture saw, auxiliary hosts included.
+  capture::PacketTrace full_trace;
+  PlayerStats player;
+  std::uint64_t bytes_downloaded{0};   ///< application bytes read by the client
+  std::size_t connections{0};          ///< TCP connections used for video
+  double encoding_bps_true{0.0};       ///< ground truth (or selected Netflix rate)
+  double encoding_bps_estimated{0.0};  ///< what the paper's pipeline would infer
+  double interrupted_at_s{0.0};        ///< 0 when not interrupted
+};
+
+[[nodiscard]] SessionResult run_session(const SessionConfig& config);
+
+}  // namespace vstream::streaming

@@ -1,0 +1,74 @@
+#include "streaming/video_server.hpp"
+
+#include <algorithm>
+
+namespace vstream::streaming {
+
+VideoStreamServer::VideoStreamServer(sim::Simulator& sim, tcp::Endpoint& endpoint,
+                                     video::VideoMeta video, ServerPacing pacing)
+    : sim_{sim}, video_{std::move(video)}, pacing_{pacing} {
+  http_ = std::make_unique<http::HttpServer>(
+      endpoint, [this](const http::HttpRequest& req, const http::HttpServer::MakeResponder& make) {
+        handle(req, make);
+      });
+}
+
+void VideoStreamServer::stop() {
+  for (auto& p : pacers_) p->stop();
+}
+
+void VideoStreamServer::handle(const http::HttpRequest& request,
+                               const http::HttpServer::MakeResponder& make) {
+  const std::uint64_t full_size = video_.size_bytes();
+
+  std::uint64_t body = full_size;
+  http::HttpResponse head;
+  head.status = 200;
+  head.headers["Content-Type"] =
+      video_.container == video::Container::kHtml5 ? "video/webm" : "video/x-flv";
+
+  if (request.range.has_value()) {
+    auto range = *request.range;
+    range.end = std::min<std::uint64_t>(range.end, full_size == 0 ? 0 : full_size - 1);
+    if (range.start > range.end) {
+      auto responder = make(0);
+      head.status = 416;
+      head.content_length = 0;
+      responder->send_head(head);
+      return;
+    }
+    body = range.length();
+    head.status = 206;
+    head.content_range = range;
+  }
+  head.content_length = body;
+
+  auto responder = make(body);
+  responder->send_head(head);
+  active_.push_back(responder);
+
+  if (pacing_.mode == ServerPacing::Mode::kBulk) {
+    responder->send_body(body);
+    return;
+  }
+
+  // Paced discipline: initial burst, then one block per cycle.
+  const auto burst = static_cast<std::uint64_t>(pacing_.initial_burst_playback_s *
+                                                video_.encoding_bps / 8.0);
+  responder->send_body(std::min(burst, body));
+  if (responder->body_remaining() == 0) return;
+
+  const double steady_rate_bps = pacing_.accumulation_ratio * video_.encoding_bps;
+  const double cycle_s = static_cast<double>(pacing_.block_bytes) * 8.0 / steady_rate_bps;
+  auto self = std::make_shared<sim::PeriodicTimer*>(nullptr);
+  auto pacer = std::make_unique<sim::PeriodicTimer>(
+      sim_, sim::Duration::seconds(cycle_s), [this, responder, self] {
+        responder->send_body(pacing_.block_bytes);
+        if (responder->body_remaining() == 0 && *self != nullptr) (*self)->stop();
+      });
+  *self = pacer.get();
+  pacer->start();
+  pacers_.push_back(std::move(pacer));
+}
+
+}  // namespace vstream::streaming

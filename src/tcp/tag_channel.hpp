@@ -1,0 +1,43 @@
+// Out-of-band application-message tags, keyed by stream offset.
+//
+// Segments carry byte counts, not contents (the bulk of streaming traffic is
+// opaque video payload). Structured application messages — HTTP requests and
+// response headers — are attached as *tags* at the stream offset where their
+// last byte ends. The receiver collects a tag once its application has read
+// past that offset, so delivery order and timing exactly follow the byte
+// stream, including retransmission and reordering effects.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vstream::tcp {
+
+class TagChannel {
+ public:
+  /// Attach a tag whose message occupies bytes ending at `end_offset`
+  /// (exclusive) in the application stream.
+  void attach(std::uint64_t end_offset, std::any tag) {
+    tags_[end_offset].push_back(std::move(tag));
+  }
+
+  /// Remove and return every tag with end offset <= `read_upto`.
+  [[nodiscard]] std::vector<std::any> collect(std::uint64_t read_upto) {
+    std::vector<std::any> out;
+    auto it = tags_.begin();
+    while (it != tags_.end() && it->first <= read_upto) {
+      for (auto& t : it->second) out.push_back(std::move(t));
+      it = tags_.erase(it);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const { return tags_.empty(); }
+
+ private:
+  std::map<std::uint64_t, std::vector<std::any>> tags_;
+};
+
+}  // namespace vstream::tcp

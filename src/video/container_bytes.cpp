@@ -1,0 +1,272 @@
+#include "video/container_bytes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace vstream::video {
+namespace {
+
+// ------------------------------------------------------------------ bytes
+
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8U));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u24be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 16U));
+  out.push_back(static_cast<std::uint8_t>(v >> 8U));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24U));
+  out.push_back(static_cast<std::uint8_t>(v >> 16U));
+  out.push_back(static_cast<std::uint8_t>(v >> 8U));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_f64be(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits{};
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(bits >> static_cast<unsigned>(shift)));
+  }
+}
+
+double get_f64be(std::span<const std::uint8_t> bytes, std::size_t at) {
+  if (at + 8 > bytes.size()) throw std::invalid_argument{"container: truncated double"};
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits = (bits << 8U) | bytes[at + static_cast<std::size_t>(i)];
+  double v{};
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+// -------------------------------------------------------------------- FLV
+
+constexpr std::uint8_t kAmfNumber = 0x00;
+constexpr std::uint8_t kAmfString = 0x02;
+constexpr std::uint8_t kAmfEcmaArray = 0x08;
+
+void put_amf_string_raw(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u16be(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_amf_number_entry(std::vector<std::uint8_t>& out, const std::string& key, double value) {
+  put_amf_string_raw(out, key);
+  out.push_back(kAmfNumber);
+  put_f64be(out, value);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_flv_header(const VideoMeta& video) {
+  std::vector<std::uint8_t> out;
+  // FLV file header.
+  out.insert(out.end(), {'F', 'L', 'V', 0x01, 0x01});  // version 1, video-only
+  put_u32be(out, 9);                                   // header size
+  put_u32be(out, 0);                                   // PreviousTagSize0
+
+  // onMetaData script tag body (AMF0).
+  std::vector<std::uint8_t> body;
+  body.push_back(kAmfString);
+  put_amf_string_raw(body, "onMetaData");
+  body.push_back(kAmfEcmaArray);
+  put_u32be(body, 2);  // approximate entry count
+  put_amf_number_entry(body, "duration", video.duration_s);
+  put_amf_number_entry(body, "videodatarate", video.encoding_bps / 1000.0);  // kbps
+  body.insert(body.end(), {0x00, 0x00, 0x09});  // object end marker
+
+  // Tag header: type 18 (script data), data size, timestamp 0, stream 0.
+  out.push_back(18);
+  put_u24be(out, static_cast<std::uint32_t>(body.size()));
+  put_u24be(out, 0);   // timestamp
+  out.push_back(0);    // timestamp extension
+  put_u24be(out, 0);   // stream id
+  out.insert(out.end(), body.begin(), body.end());
+  put_u32be(out, static_cast<std::uint32_t>(11 + body.size()));  // PreviousTagSize1
+  return out;
+}
+
+namespace {
+
+// ------------------------------------------------------------------- EBML
+
+void put_ebml_id(std::vector<std::uint8_t>& out, std::uint32_t id) {
+  // IDs are stored with their length marker included; emit the minimal form.
+  if (id > 0xFFFFFF) {
+    put_u32be(out, id);
+  } else if (id > 0xFFFF) {
+    put_u24be(out, id);
+  } else if (id > 0xFF) {
+    put_u16be(out, id);
+  } else {
+    out.push_back(static_cast<std::uint8_t>(id));
+  }
+}
+
+void put_ebml_size(std::vector<std::uint8_t>& out, std::uint64_t size) {
+  // 8-byte vint keeps encoding trivial and unambiguous.
+  out.push_back(0x01);
+  for (int shift = 48; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(size >> static_cast<unsigned>(shift)));
+  }
+}
+
+void put_ebml_element(std::vector<std::uint8_t>& out, std::uint32_t id,
+                      const std::vector<std::uint8_t>& payload) {
+  put_ebml_id(out, id);
+  put_ebml_size(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+constexpr std::uint32_t kIdEbml = 0x1A45DFA3;
+constexpr std::uint32_t kIdDocType = 0x4282;
+constexpr std::uint32_t kIdSegment = 0x18538067;
+constexpr std::uint32_t kIdInfo = 0x1549A966;
+constexpr std::uint32_t kIdTimecodeScale = 0x2AD7B1;
+constexpr std::uint32_t kIdDuration = 0x4489;
+constexpr std::uint32_t kIdTracks = 0x1654AE6B;
+constexpr std::uint32_t kIdTrackEntry = 0xAE;
+constexpr std::uint32_t kIdVideo = 0xE0;
+constexpr std::uint32_t kIdFrameRate = 0x2383E3;
+
+struct EbmlReader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos{0};
+
+  [[nodiscard]] bool done() const { return pos >= bytes.size(); }
+
+  std::uint32_t read_id() {
+    if (done()) throw std::invalid_argument{"ebml: truncated id"};
+    const std::uint8_t first = bytes[pos];
+    int len = 0;
+    for (int i = 7; i >= 4; --i) {
+      if (first & (1U << static_cast<unsigned>(i))) {
+        len = 8 - i;
+        break;
+      }
+    }
+    if (len == 0) throw std::invalid_argument{"ebml: bad id marker"};
+    if (pos + static_cast<std::size_t>(len) > bytes.size()) {
+      throw std::invalid_argument{"ebml: truncated id"};
+    }
+    std::uint32_t id = 0;
+    for (int i = 0; i < len; ++i) id = (id << 8U) | bytes[pos++];
+    return id;
+  }
+
+  std::uint64_t read_size() {
+    if (done()) throw std::invalid_argument{"ebml: truncated size"};
+    const std::uint8_t first = bytes[pos];
+    int len = 0;
+    for (int i = 7; i >= 0; --i) {
+      if (first & (1U << static_cast<unsigned>(i))) {
+        len = 8 - i;
+        break;
+      }
+    }
+    if (len == 0) throw std::invalid_argument{"ebml: bad size marker"};
+    if (pos + static_cast<std::size_t>(len) > bytes.size()) {
+      throw std::invalid_argument{"ebml: truncated size"};
+    }
+    std::uint64_t size = first & (0xFFU >> static_cast<unsigned>(len));
+    ++pos;
+    for (int i = 1; i < len; ++i) size = (size << 8U) | bytes[pos++];
+    return size;
+  }
+};
+
+bool is_master(std::uint32_t id) {
+  return id == kIdEbml || id == kIdSegment || id == kIdInfo || id == kIdTracks ||
+         id == kIdTrackEntry || id == kIdVideo;
+}
+
+void walk_ebml(EbmlReader& reader, std::size_t end, ParsedContainerHeader& out) {
+  while (reader.pos < end) {
+    const std::uint32_t id = reader.read_id();
+    const std::uint64_t size = reader.read_size();
+    const std::size_t payload_end = reader.pos + size;
+    if (payload_end > reader.bytes.size()) throw std::invalid_argument{"ebml: overrun"};
+    if (is_master(id)) {
+      walk_ebml(reader, payload_end, out);
+      continue;
+    }
+    if (id == kIdDuration && size == 8) {
+      out.duration_s = get_f64be(reader.bytes, reader.pos) / 1000.0;  // ms -> s
+    }
+    if (id == kIdFrameRate) {
+      // The paper's quirk: the element exists but its payload is invalid
+      // (empty) — there is nothing to derive a rate from.
+      if (size == 8) out.video_rate_bps = get_f64be(reader.bytes, reader.pos);
+    }
+    reader.pos = payload_end;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_webm_header(const VideoMeta& video) {
+  std::vector<std::uint8_t> out;
+
+  std::vector<std::uint8_t> ebml;
+  std::vector<std::uint8_t> doctype{'w', 'e', 'b', 'm'};
+  put_ebml_element(ebml, kIdDocType, doctype);
+  put_ebml_element(out, kIdEbml, ebml);
+
+  std::vector<std::uint8_t> info;
+  std::vector<std::uint8_t> scale{0x0F, 0x42, 0x40};  // 1,000,000 ns
+  put_ebml_element(info, kIdTimecodeScale, scale);
+  std::vector<std::uint8_t> duration;
+  put_f64be(duration, video.duration_s * 1000.0);  // in timecode units (ms)
+  put_ebml_element(info, kIdDuration, duration);
+
+  std::vector<std::uint8_t> video_el;
+  put_ebml_element(video_el, kIdFrameRate, {});  // INVALID: empty payload
+  std::vector<std::uint8_t> track;
+  put_ebml_element(track, kIdVideo, video_el);
+  std::vector<std::uint8_t> tracks;
+  put_ebml_element(tracks, kIdTrackEntry, track);
+
+  std::vector<std::uint8_t> segment;
+  put_ebml_element(segment, kIdInfo, info);
+  put_ebml_element(segment, kIdTracks, tracks);
+  put_ebml_element(out, kIdSegment, segment);
+  return out;
+}
+
+ParsedContainerHeader parse_container_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() >= 3 && bytes[0] == 'F' && bytes[1] == 'L' && bytes[2] == 'V') {
+    ParsedContainerHeader out;
+    out.container = Container::kFlash;
+    // Scan the script-tag AMF payload for the two numeric entries.
+    const auto find_number = [&bytes](const std::string& key) -> std::optional<double> {
+      for (std::size_t i = 0; i + key.size() + 9 <= bytes.size(); ++i) {
+        if (std::memcmp(bytes.data() + i, key.data(), key.size()) == 0 &&
+            bytes[i + key.size()] == kAmfNumber) {
+          return get_f64be(bytes, i + key.size() + 1);
+        }
+      }
+      return std::nullopt;
+    };
+    out.duration_s = find_number("duration");
+    if (const auto kbps = find_number("videodatarate")) out.video_rate_bps = *kbps * 1000.0;
+    return out;
+  }
+
+  if (bytes.size() >= 4 && bytes[0] == 0x1A && bytes[1] == 0x45 && bytes[2] == 0xDF &&
+      bytes[3] == 0xA3) {
+    ParsedContainerHeader out;
+    out.container = Container::kHtml5;
+    EbmlReader reader{bytes, 0};
+    walk_ebml(reader, bytes.size(), out);
+    return out;
+  }
+  throw std::invalid_argument{"parse_container_header: unknown container magic"};
+}
+
+}  // namespace vstream::video

@@ -1,0 +1,43 @@
+// Binary container headers: FLV and WebM/EBML, as seen in the first bytes
+// of the streamed file.
+//
+// The paper's methodology reads the encoding rate "from the header of the
+// video file being streamed" for Flash, and fails to for WebM because of an
+// invalid frame-rate entry (Section 5). These writers/parsers produce and
+// consume real header bytes — an FLV header with an onMetaData script tag
+// carrying `videodatarate`/`duration`, and a WebM EBML prefix whose
+// duration is present but whose frame-rate field is deliberately written
+// the way the paper found it: invalid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "video/metadata.hpp"
+
+namespace vstream::video {
+
+/// Serialise the first bytes of an FLV file for this video: 9-byte FLV
+/// header + PreviousTagSize0 + an onMetaData SCRIPTDATA tag with
+/// `duration` (seconds) and `videodatarate` (kbps), AMF0-encoded.
+[[nodiscard]] std::vector<std::uint8_t> write_flv_header(const VideoMeta& video);
+
+/// Serialise a WebM/EBML prefix: EBML header (DocType "webm") + Segment +
+/// Info with TimecodeScale and Duration, and a Video TrackEntry whose
+/// FrameRate element is present but carries an invalid (zero-length)
+/// payload — the quirk the paper hit.
+[[nodiscard]] std::vector<std::uint8_t> write_webm_header(const VideoMeta& video);
+
+struct ParsedContainerHeader {
+  Container container{Container::kFlash};
+  std::optional<double> duration_s;
+  std::optional<double> video_rate_bps;  ///< absent when unusable/invalid
+};
+
+/// Parse either header format (detected from the magic bytes). Throws
+/// std::invalid_argument for unrecognised data.
+[[nodiscard]] ParsedContainerHeader parse_container_header(std::span<const std::uint8_t> bytes);
+
+}  // namespace vstream::video

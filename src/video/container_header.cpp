@@ -1,0 +1,64 @@
+#include "video/container_header.hpp"
+
+#include <stdexcept>
+
+namespace vstream::video {
+
+std::string to_string(Container c) {
+  switch (c) {
+    case Container::kFlash:
+      return "Flash";
+    case Container::kFlashHd:
+      return "Flash-HD";
+    case Container::kHtml5:
+      return "HTML5";
+    case Container::kSilverlight:
+      return "Silverlight";
+  }
+  return "?";
+}
+
+std::string to_string(Resolution r) { return std::to_string(static_cast<int>(r)) + "p"; }
+
+ContainerHeader make_header(const VideoMeta& video) {
+  ContainerHeader h;
+  h.container = video.container;
+  h.declared_duration_s = video.duration_s;
+  switch (video.container) {
+    case Container::kFlash:
+    case Container::kFlashHd:
+      // FLV metadata carries a usable bitrate.
+      h.declared_rate_bps = video.encoding_bps;
+      break;
+    case Container::kHtml5:
+      // The paper observed an invalid frame-rate entry in WebM headers, so
+      // no usable declared rate is available.
+      h.declared_rate_bps = std::nullopt;
+      break;
+    case Container::kSilverlight:
+      // Netflix rate depends on the adaptive selection, not the header.
+      h.declared_rate_bps = std::nullopt;
+      break;
+  }
+  return h;
+}
+
+double estimate_rate_from_content_length(std::uint64_t content_length_bytes, double duration_s,
+                                         double noise_factor) {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument{"estimate_rate_from_content_length: non-positive duration"};
+  }
+  if (noise_factor <= 0.0) {
+    throw std::invalid_argument{"estimate_rate_from_content_length: non-positive noise factor"};
+  }
+  return static_cast<double>(content_length_bytes) * 8.0 / duration_s * noise_factor;
+}
+
+double resolve_encoding_rate(const ContainerHeader& header, std::uint64_t content_length_bytes,
+                             double noise_factor) {
+  if (header.declared_rate_bps.has_value()) return *header.declared_rate_bps;
+  return estimate_rate_from_content_length(content_length_bytes, header.declared_duration_s,
+                                           noise_factor);
+}
+
+}  // namespace vstream::video

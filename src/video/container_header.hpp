@@ -1,0 +1,44 @@
+// Container-header metadata extraction, mirroring Section 4/5 of the paper.
+//
+// For Flash (FLV) videos, the encoding rate is read directly from the file
+// header. For HTML5/WebM videos the paper found an *invalid frame-rate
+// entry* in the header, so the encoding rate had to be estimated as
+// Content-Length divided by the video duration. We reproduce both paths —
+// including the WebM quirk — because the estimation error explains the wide
+// accumulation-ratio spread in Figs 5(b)/6 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "video/metadata.hpp"
+
+namespace vstream::video {
+
+/// What a measurement tool can see in the first bytes of the media file.
+struct ContainerHeader {
+  Container container{Container::kFlash};
+  /// Declared encoding rate; absent when the header entry is unusable
+  /// (WebM's invalid frame-rate entry).
+  std::optional<double> declared_rate_bps;
+  double declared_duration_s{0.0};
+};
+
+/// Build the header a given video would carry on the wire.
+[[nodiscard]] ContainerHeader make_header(const VideoMeta& video);
+
+/// The paper's estimator for videos without a usable declared rate:
+/// Content-Length (bytes) divided by duration. `noise_factor` models the
+/// estimation error (auxiliary data in the container, duration rounding);
+/// 1.0 means a perfect estimate.
+[[nodiscard]] double estimate_rate_from_content_length(std::uint64_t content_length_bytes,
+                                                       double duration_s,
+                                                       double noise_factor = 1.0);
+
+/// Resolve the encoding rate the way the paper's pipeline does: header
+/// first, Content-Length estimate otherwise.
+[[nodiscard]] double resolve_encoding_rate(const ContainerHeader& header,
+                                           std::uint64_t content_length_bytes,
+                                           double noise_factor = 1.0);
+
+}  // namespace vstream::video

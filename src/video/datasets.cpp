@@ -1,0 +1,141 @@
+#include "video/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vstream::video {
+namespace {
+
+// YouTube-like duration distribution: log-normal with median ~210 s,
+// clipped to [30 s, 3600 s].
+double youtube_duration(sim::Rng& rng) {
+  const double d = rng.lognormal(std::log(210.0), 0.8);
+  return std::clamp(d, 30.0, 3600.0);
+}
+
+// Netflix features and episodes: 20 min to 2 h.
+double netflix_duration(sim::Rng& rng) { return rng.uniform(1200.0, 7200.0); }
+
+VideoMeta make_youtube_video(sim::Rng& rng, std::string id, double lo_mbps, double hi_mbps,
+                             Container container, Resolution fallback_res) {
+  VideoMeta v;
+  v.id = std::move(id);
+  v.duration_s = youtube_duration(rng);
+  v.encoding_bps = rng.uniform(lo_mbps * 1e6, hi_mbps * 1e6);
+  v.container = container;
+  v.resolution = fallback_res;
+  return v;
+}
+
+}  // namespace
+
+std::string to_string(DatasetId id) {
+  switch (id) {
+    case DatasetId::kYouFlash:
+      return "YouFlash";
+    case DatasetId::kYouHd:
+      return "YouHD";
+    case DatasetId::kYouHtml:
+      return "YouHtml";
+    case DatasetId::kYouMob:
+      return "YouMob";
+    case DatasetId::kNetPc:
+      return "NetPC";
+    case DatasetId::kNetMob:
+      return "NetMob";
+  }
+  return "?";
+}
+
+const std::vector<double>& netflix_rate_ladder() {
+  // 2011-era Netflix ladder (kbps): 375, 560, 1050, 1750, 2350, 3600.
+  static const std::vector<double> kLadder{375e3, 560e3, 1050e3, 1750e3, 2350e3, 3600e3};
+  return kLadder;
+}
+
+const std::vector<double>& netflix_ipad_ladder() {
+  static const std::vector<double> kLadder{560e3, 1750e3};
+  return kLadder;
+}
+
+Dataset make_dataset(DatasetId id, sim::Rng& rng, std::size_t count) {
+  Dataset ds;
+  ds.id = id;
+
+  const auto paper_size = [id]() -> std::size_t {
+    switch (id) {
+      case DatasetId::kYouFlash:
+        return 5000;
+      case DatasetId::kYouHd:
+        return 2000;
+      case DatasetId::kYouHtml:
+        return 3000;
+      case DatasetId::kYouMob:
+        return 1000;
+      case DatasetId::kNetPc:
+        return 200;
+      case DatasetId::kNetMob:
+        return 50;
+    }
+    throw std::invalid_argument{"make_dataset: unknown dataset"};
+  }();
+  const std::size_t n = count == 0 ? paper_size : count;
+  ds.videos.reserve(n);
+
+  switch (id) {
+    case DatasetId::kYouFlash:
+      for (std::size_t i = 0; i < n; ++i) {
+        auto v = make_youtube_video(rng, "yf" + std::to_string(i), 0.2, 1.5, Container::kFlash,
+                                    rng.bernoulli(0.5) ? Resolution::k240p : Resolution::k360p);
+        ds.videos.push_back(std::move(v));
+      }
+      break;
+
+    case DatasetId::kYouHd:
+      for (std::size_t i = 0; i < n; ++i) {
+        ds.videos.push_back(make_youtube_video(rng, "yh" + std::to_string(i), 0.2, 4.8,
+                                               Container::kFlashHd, Resolution::k720p));
+      }
+      break;
+
+    case DatasetId::kYouHtml: {
+      // 2500/3000 from the Flash population, 500/3000 from HD, re-encoded
+      // into WebM at 0.2-2.5 Mbps, streamed at the 360p default.
+      const std::size_t from_hd = std::max<std::size_t>(1, n / 6);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool hd_origin = i < from_hd;
+        auto v = make_youtube_video(rng, "yw" + std::to_string(i), 0.2, hd_origin ? 2.5 : 1.5,
+                                    Container::kHtml5, Resolution::k360p);
+        ds.videos.push_back(std::move(v));
+      }
+      break;
+    }
+
+    case DatasetId::kYouMob:
+      for (std::size_t i = 0; i < n; ++i) {
+        ds.videos.push_back(make_youtube_video(rng, "ym" + std::to_string(i), 0.2, 2.7,
+                                               Container::kHtml5, Resolution::k360p));
+      }
+      break;
+
+    case DatasetId::kNetPc:
+    case DatasetId::kNetMob:
+      for (std::size_t i = 0; i < n; ++i) {
+        VideoMeta v;
+        v.id = (id == DatasetId::kNetPc ? "np" : "nm") + std::to_string(i);
+        v.duration_s = netflix_duration(rng);
+        v.container = Container::kSilverlight;
+        v.resolution = Resolution::k480p;
+        v.available_rates_bps = netflix_rate_ladder();
+        // Nominal rate: the top ladder entry (adaptation happens at play
+        // time against the end-to-end available bandwidth).
+        v.encoding_bps = v.available_rates_bps.back();
+        ds.videos.push_back(std::move(v));
+      }
+      break;
+  }
+  return ds;
+}
+
+}  // namespace vstream::video

@@ -1,0 +1,56 @@
+// Synthetic equivalents of the paper's six datasets (Section 4.1).
+//
+//   YouFlash : 5000 YouTube Flash videos, 0.2-1.5 Mbps, 240p/360p
+//   YouHD    : 2000 YouTube HD videos (Flash container), 0.2-4.8 Mbps, 720p
+//   YouHtml  : 2500 videos from YouFlash + 500 from YouHD, re-encoded for
+//              HTML5/WebM at 0.2-2.5 Mbps, default 360p
+//   YouMob   : mobile-app-playable videos, 0.2-2.7 Mbps
+//   NetPC    : 200 Netflix titles (movies/episodes, multi-rate ladder)
+//   NetMob   : 50 titles sampled from NetPC
+//
+// Durations follow a log-normal (YouTube's classic shape, median ≈ 3-4 min)
+// or long uniform (Netflix features). All draws are deterministic per seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "video/metadata.hpp"
+
+namespace vstream::video {
+
+enum class DatasetId : std::uint8_t {
+  kYouFlash,
+  kYouHd,
+  kYouHtml,
+  kYouMob,
+  kNetPc,
+  kNetMob,
+};
+
+[[nodiscard]] std::string to_string(DatasetId id);
+
+struct Dataset {
+  DatasetId id{DatasetId::kYouFlash};
+  std::vector<VideoMeta> videos;
+
+  [[nodiscard]] std::size_t size() const { return videos.size(); }
+};
+
+/// Paper-sized dataset (e.g. 5000 videos for YouFlash). `count` overrides
+/// the paper size when a smaller sample suffices (tests, quick benches);
+/// 0 means "paper size".
+[[nodiscard]] Dataset make_dataset(DatasetId id, sim::Rng& rng, std::size_t count = 0);
+
+/// The Netflix encoding ladder used for NetPC/NetMob titles (bps). The 2011
+/// Silverlight client downloaded fragments at *all* of these during the
+/// buffering phase (paper §5.2.1, citing Akhshabi et al.).
+[[nodiscard]] const std::vector<double>& netflix_rate_ladder();
+
+/// Subset of the ladder available to the iPad client (paper hypothesises a
+/// reduced set explains the ~10 MB vs ~50 MB buffering difference).
+[[nodiscard]] const std::vector<double>& netflix_ipad_ladder();
+
+}  // namespace vstream::video

@@ -1,0 +1,48 @@
+// Video metadata: what the paper's datasets record per video.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vstream::video {
+
+enum class Container : std::uint8_t {
+  kFlash,       ///< Adobe Flash (FLV), YouTube default on PCs in 2011
+  kFlashHd,     ///< Flash container carrying HD (720p) streams
+  kHtml5,       ///< HTML5 <video> with the WebM codec
+  kSilverlight, ///< Microsoft Silverlight (Netflix)
+};
+
+enum class Resolution : std::uint16_t {
+  k240p = 240,
+  k360p = 360,
+  k480p = 480,
+  k720p = 720,
+  k1080p = 1080,
+};
+
+[[nodiscard]] std::string to_string(Container c);
+[[nodiscard]] std::string to_string(Resolution r);
+
+struct VideoMeta {
+  std::string id;
+  double duration_s{0.0};
+  double encoding_bps{0.0};  ///< average video bitrate
+  Resolution resolution{Resolution::k360p};
+  Container container{Container::kFlash};
+
+  /// Netflix titles are encoded at a ladder of rates; empty for YouTube.
+  std::vector<double> available_rates_bps;
+
+  [[nodiscard]] double encoding_mbps() const { return encoding_bps / 1e6; }
+  [[nodiscard]] std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(encoding_bps * duration_s / 8.0);
+  }
+  /// Size at a specific ladder rate (Netflix).
+  [[nodiscard]] std::uint64_t size_bytes_at(double rate_bps) const {
+    return static_cast<std::uint64_t>(rate_bps * duration_s / 8.0);
+  }
+};
+
+}  // namespace vstream::video

@@ -1,0 +1,49 @@
+#include "video/viewing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vstream::video {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: empty catalogue"};
+  if (exponent < 0.0) throw std::invalid_argument{"ZipfSampler: negative exponent"};
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(sim::Rng& rng) const {
+  const double u = rng.uniform(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range{"ZipfSampler::probability: bad rank"};
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+double ViewingModel::early_quit_probability(double duration_s) const {
+  if (duration_s <= 0.0) throw std::invalid_argument{"ViewingModel: non-positive duration"};
+  // Logistic-ish adjustment around the pivot: longer videos quit earlier.
+  const double shift = duration_sensitivity * std::log(duration_s / duration_pivot_s);
+  return std::clamp(early_quit_fraction + shift, 0.05, 0.95);
+}
+
+double ViewingModel::draw_watch_fraction(sim::Rng& rng, double duration_s) const {
+  const double p_early = early_quit_probability(duration_s);
+  if (rng.bernoulli(p_early)) {
+    return rng.uniform(min_beta, early_beta_max);
+  }
+  if (rng.bernoulli(finish_fraction)) return 1.0;
+  return rng.uniform(early_beta_max, 1.0);
+}
+
+}  // namespace vstream::video

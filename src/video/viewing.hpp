@@ -1,0 +1,54 @@
+// Viewer-behaviour models from the measurement literature the paper builds
+// on: Zipf-like video popularity (Cha et al.), early abandonment (Finamore
+// et al.: 60% of videos watched for less than 20% of their duration; Gill
+// et al.: 80% of interruptions due to lack of interest), and the Huang et
+// al. observation that viewing time decreases as the video gets longer.
+// These drive the interruption (beta) draws of the Section 6.2 model and
+// the population mixes of the migration scenarios.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace vstream::video {
+
+/// Zipf(s) sampler over ranks 0..n-1 (rank 0 most popular).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t sample(sim::Rng& rng) const;
+  /// P(rank).
+  [[nodiscard]] double probability(std::size_t rank) const;
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Watch-fraction (beta) model.
+struct ViewingModel {
+  /// Fraction of sessions abandoned early (Finamore: 0.6).
+  double early_quit_fraction{0.6};
+  /// Early quitters watch U[min_beta, early_beta_max] of the video.
+  double min_beta{0.01};
+  double early_beta_max{0.2};
+  /// Everyone else watches U[early_beta_max, 1]; a `finish_fraction` of
+  /// them watches to the very end (beta = 1).
+  double finish_fraction{0.2};
+  /// Huang et al.: longer videos are watched for smaller fractions. The
+  /// early-quit probability grows with duration around this pivot.
+  double duration_pivot_s{210.0};
+  double duration_sensitivity{0.15};
+
+  /// Draw the fraction of a `duration_s`-long video watched before the
+  /// viewer loses interest; 1.0 means watched to completion.
+  [[nodiscard]] double draw_watch_fraction(sim::Rng& rng, double duration_s) const;
+
+  /// Probability this video is abandoned early, given its duration.
+  [[nodiscard]] double early_quit_probability(double duration_s) const;
+};
+
+}  // namespace vstream::video

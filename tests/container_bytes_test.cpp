@@ -1,0 +1,118 @@
+// Tests for the binary FLV/WebM container headers — including the paper's
+// WebM invalid-frame-rate quirk that forces rate estimation.
+#include <gtest/gtest.h>
+
+#include "video/container_bytes.hpp"
+#include "video/container_header.hpp"
+
+namespace vstream::video {
+namespace {
+
+VideoMeta flash_video() {
+  VideoMeta v;
+  v.id = "flv";
+  v.duration_s = 212.0;
+  v.encoding_bps = 1.1e6;
+  v.container = Container::kFlash;
+  return v;
+}
+
+VideoMeta webm_video() {
+  VideoMeta v;
+  v.id = "webm";
+  v.duration_s = 300.0;
+  v.encoding_bps = 0.9e6;
+  v.container = Container::kHtml5;
+  return v;
+}
+
+TEST(FlvHeaderTest, MagicAndStructure) {
+  const auto bytes = write_flv_header(flash_video());
+  ASSERT_GE(bytes.size(), 13U);
+  EXPECT_EQ(bytes[0], 'F');
+  EXPECT_EQ(bytes[1], 'L');
+  EXPECT_EQ(bytes[2], 'V');
+  EXPECT_EQ(bytes[3], 1);     // version
+  EXPECT_EQ(bytes[4], 0x01);  // video flag
+  // Script tag type after header+prevtagsize.
+  EXPECT_EQ(bytes[13], 18);
+}
+
+TEST(FlvHeaderTest, RoundTripsRateAndDuration) {
+  const auto video = flash_video();
+  const auto bytes = write_flv_header(video);
+  const auto parsed = parse_container_header(bytes);
+  EXPECT_EQ(parsed.container, Container::kFlash);
+  ASSERT_TRUE(parsed.duration_s.has_value());
+  EXPECT_NEAR(*parsed.duration_s, 212.0, 1e-9);
+  ASSERT_TRUE(parsed.video_rate_bps.has_value());
+  EXPECT_NEAR(*parsed.video_rate_bps, 1.1e6, 1.0);
+}
+
+TEST(WebmHeaderTest, MagicAndDocType) {
+  const auto bytes = write_webm_header(webm_video());
+  ASSERT_GE(bytes.size(), 8U);
+  EXPECT_EQ(bytes[0], 0x1A);
+  EXPECT_EQ(bytes[1], 0x45);
+  EXPECT_EQ(bytes[2], 0xDF);
+  EXPECT_EQ(bytes[3], 0xA3);
+  // "webm" doctype appears in the EBML header.
+  const std::string all{bytes.begin(), bytes.end()};
+  EXPECT_NE(all.find("webm"), std::string::npos);
+}
+
+TEST(WebmHeaderTest, DurationParsesButRateIsInvalid) {
+  // The paper: "we observed an invalid entry for the frame rate in the
+  // header of the webM files" — duration is there, the rate is not usable.
+  const auto bytes = write_webm_header(webm_video());
+  const auto parsed = parse_container_header(bytes);
+  EXPECT_EQ(parsed.container, Container::kHtml5);
+  ASSERT_TRUE(parsed.duration_s.has_value());
+  EXPECT_NEAR(*parsed.duration_s, 300.0, 1e-9);
+  EXPECT_FALSE(parsed.video_rate_bps.has_value());
+}
+
+TEST(ContainerBytesTest, EndToEndMatchesHeaderModel) {
+  // The byte-level path agrees with the abstract `make_header` model: FLV
+  // declares a usable rate, WebM forces Content-Length estimation.
+  const auto flv_parsed = parse_container_header(write_flv_header(flash_video()));
+  const auto flv_model = make_header(flash_video());
+  EXPECT_EQ(flv_parsed.video_rate_bps.has_value(), flv_model.declared_rate_bps.has_value());
+
+  const auto webm_parsed = parse_container_header(write_webm_header(webm_video()));
+  const auto webm_model = make_header(webm_video());
+  EXPECT_EQ(webm_parsed.video_rate_bps.has_value(), webm_model.declared_rate_bps.has_value());
+
+  // And the estimation fallback produces the right rate from Content-Length.
+  const auto v = webm_video();
+  const double est = estimate_rate_from_content_length(v.size_bytes(), *webm_parsed.duration_s);
+  EXPECT_NEAR(est, v.encoding_bps, v.encoding_bps * 0.01);
+}
+
+TEST(ContainerBytesTest, RejectsGarbage) {
+  const std::vector<std::uint8_t> garbage{0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_THROW((void)parse_container_header(garbage), std::invalid_argument);
+  EXPECT_THROW((void)parse_container_header({}), std::invalid_argument);
+}
+
+TEST(ContainerBytesTest, TruncatedWebmThrows) {
+  auto bytes = write_webm_header(webm_video());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)parse_container_header(bytes), std::invalid_argument);
+}
+
+class FlvRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlvRateSweep, RatePreservedAcrossRange) {
+  auto v = flash_video();
+  v.encoding_bps = GetParam();
+  const auto parsed = parse_container_header(write_flv_header(v));
+  ASSERT_TRUE(parsed.video_rate_bps.has_value());
+  EXPECT_NEAR(*parsed.video_rate_bps, GetParam(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, FlvRateSweep,
+                         ::testing::Values(0.2e6, 0.5e6, 1.0e6, 1.5e6, 4.8e6));
+
+}  // namespace
+}  // namespace vstream::video

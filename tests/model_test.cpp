@@ -1,0 +1,267 @@
+// Tests for the Section 6 analytical model: closed forms, Monte-Carlo
+// validation, strategy independence, and the interruption/waste equations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/aggregate.hpp"
+#include "model/interruption.hpp"
+
+namespace vstream::model {
+namespace {
+
+TEST(AggregateClosedFormTest, Equation3Mean) {
+  AggregateParams p;
+  p.lambda_per_s = 2.0;
+  p.mean_encoding_bps = 1e6;
+  p.mean_duration_s = 300.0;
+  // E[R] = lambda E[e] E[L] = 2 * 1e6 * 300 = 600 Mbit/s.
+  EXPECT_DOUBLE_EQ(mean_aggregate_rate_bps(p), 6e8);
+}
+
+TEST(AggregateClosedFormTest, Equation4Variance) {
+  AggregateParams p;
+  p.lambda_per_s = 2.0;
+  p.mean_encoding_bps = 1e6;
+  p.mean_duration_s = 300.0;
+  p.mean_download_rate_bps = 5e6;
+  EXPECT_DOUBLE_EQ(variance_aggregate_rate(p), 2.0 * 1e6 * 300.0 * 5e6);
+}
+
+TEST(AggregateClosedFormTest, DimensioningRule) {
+  AggregateParams p;
+  p.lambda_per_s = 1.0;
+  p.mean_encoding_bps = 1e6;
+  p.mean_duration_s = 100.0;
+  p.mean_download_rate_bps = 4e6;
+  const double mean = mean_aggregate_rate_bps(p);
+  const double sd = std::sqrt(variance_aggregate_rate(p));
+  EXPECT_DOUBLE_EQ(dimension_link_bps(p, 0.0), mean);
+  EXPECT_DOUBLE_EQ(dimension_link_bps(p, 2.0), mean + 2.0 * sd);
+  EXPECT_THROW((void)dimension_link_bps(p, -1.0), std::invalid_argument);
+}
+
+TEST(AggregateClosedFormTest, VarianceGrowsLinearlyInEncodingRate) {
+  // Section 6.1 conclusion 3: doubling e doubles mean AND variance, so the
+  // coefficient of variation sqrt(V)/E shrinks — smoother traffic.
+  AggregateParams lo;
+  lo.mean_encoding_bps = 1e6;
+  AggregateParams hi = lo;
+  hi.mean_encoding_bps = 2e6;
+  const double cv_lo = std::sqrt(variance_aggregate_rate(lo)) / mean_aggregate_rate_bps(lo);
+  const double cv_hi = std::sqrt(variance_aggregate_rate(hi)) / mean_aggregate_rate_bps(hi);
+  EXPECT_LT(cv_hi, cv_lo);
+  EXPECT_NEAR(cv_hi, cv_lo / std::sqrt(2.0), 1e-12);
+}
+
+MonteCarloConfig base_mc(ModelStrategy strategy, std::uint64_t seed = 42) {
+  MonteCarloConfig cfg;
+  cfg.lambda_per_s = 0.5;
+  cfg.horizon_s = 4000.0;
+  cfg.sample_dt_s = 1.0;
+  cfg.seed = seed;
+  cfg.strategy = strategy;
+  cfg.draw_encoding_bps = [](sim::Rng&) { return 1e6; };
+  cfg.draw_duration_s = [](sim::Rng&) { return 300.0; };
+  cfg.draw_download_rate_bps = [](sim::Rng&) { return 5e6; };
+  cfg.accumulation_ratio = 1.25;
+  cfg.buffering_playback_s = 40.0;
+  cfg.block_bytes = 64 * 1024;
+  return cfg;
+}
+
+TEST(AggregateMonteCarloTest, MeanMatchesEquation3ForBulk) {
+  const auto cfg = base_mc(ModelStrategy::kNoOnOff);
+  const auto result = run_aggregate_monte_carlo(cfg);
+  AggregateParams p;
+  p.lambda_per_s = cfg.lambda_per_s;
+  p.mean_encoding_bps = 1e6;
+  p.mean_duration_s = 300.0;
+  p.mean_download_rate_bps = 5e6;
+  const double expected = mean_aggregate_rate_bps(p);
+  EXPECT_NEAR(result.mean_bps, expected, expected * 0.1);
+}
+
+TEST(AggregateMonteCarloTest, VarianceMatchesEquation4ForBulk) {
+  const auto cfg = base_mc(ModelStrategy::kNoOnOff);
+  const auto result = run_aggregate_monte_carlo(cfg);
+  AggregateParams p;
+  p.lambda_per_s = cfg.lambda_per_s;
+  p.mean_encoding_bps = 1e6;
+  p.mean_duration_s = 300.0;
+  p.mean_download_rate_bps = 5e6;
+  const double expected = variance_aggregate_rate(p);
+  EXPECT_NEAR(result.variance, expected, expected * 0.25);
+}
+
+TEST(AggregateMonteCarloTest, MeanIsStrategyIndependent) {
+  // Section 6.1 conclusion 2: without interruptions the mean aggregate rate
+  // does not depend on the streaming strategy.
+  const auto bulk = run_aggregate_monte_carlo(base_mc(ModelStrategy::kNoOnOff));
+  const auto short_onoff = run_aggregate_monte_carlo(base_mc(ModelStrategy::kShortOnOff));
+  const auto long_onoff = run_aggregate_monte_carlo(base_mc(ModelStrategy::kLongOnOff));
+  EXPECT_NEAR(short_onoff.mean_bps, bulk.mean_bps, bulk.mean_bps * 0.1);
+  EXPECT_NEAR(long_onoff.mean_bps, bulk.mean_bps, bulk.mean_bps * 0.1);
+}
+
+TEST(AggregateMonteCarloTest, VarianceIsStrategyIndependent) {
+  const auto bulk = run_aggregate_monte_carlo(base_mc(ModelStrategy::kNoOnOff, 7));
+  auto cfg = base_mc(ModelStrategy::kShortOnOff, 7);
+  const auto short_onoff = run_aggregate_monte_carlo(cfg);
+  cfg = base_mc(ModelStrategy::kLongOnOff, 7);
+  cfg.block_bytes = 4 * 1024 * 1024;
+  const auto long_onoff = run_aggregate_monte_carlo(cfg);
+  EXPECT_NEAR(short_onoff.variance, bulk.variance, bulk.variance * 0.35);
+  EXPECT_NEAR(long_onoff.variance, bulk.variance, bulk.variance * 0.35);
+}
+
+TEST(AggregateMonteCarloTest, ValidatesInputs) {
+  auto cfg = base_mc(ModelStrategy::kNoOnOff);
+  cfg.lambda_per_s = 0.0;
+  EXPECT_THROW((void)run_aggregate_monte_carlo(cfg), std::invalid_argument);
+  cfg = base_mc(ModelStrategy::kNoOnOff);
+  cfg.sample_dt_s = 0.0;
+  EXPECT_THROW((void)run_aggregate_monte_carlo(cfg), std::invalid_argument);
+}
+
+TEST(AggregateMonteCarloTest, ActiveFlowCountScalesWithLambda) {
+  auto cfg = base_mc(ModelStrategy::kNoOnOff);
+  cfg.lambda_per_s = 0.2;
+  const auto lo = run_aggregate_monte_carlo(cfg);
+  cfg.lambda_per_s = 0.8;
+  cfg.seed = 43;
+  const auto hi = run_aggregate_monte_carlo(cfg);
+  EXPECT_GT(hi.mean_active_flows, 3.0 * lo.mean_active_flows);
+}
+
+// ------------------------------------------------------------ interruption
+
+TEST(InterruptionTest, PaperWorkedExample) {
+  // B' = 40 s, k = 1.25, beta = 0.2  =>  L = 40 / (1 - 0.25) = 53.3 s.
+  EXPECT_NEAR(critical_duration_s(40.0, 1.25, 0.2), 53.333333, 1e-5);
+}
+
+TEST(InterruptionTest, CriticalDurationInfiniteWhenDownloadOutrunsViewer) {
+  EXPECT_TRUE(std::isinf(critical_duration_s(40.0, 5.0, 0.5)));
+}
+
+TEST(InterruptionTest, Equation7Condition) {
+  InterruptionParams p;
+  p.buffered_playback_s = 40.0;
+  p.accumulation_ratio = 1.25;
+  p.beta = 0.2;
+  p.encoding_bps = 1e6;
+  p.duration_s = 40.0;  // below the 53.3 s critical duration
+  EXPECT_TRUE(downloads_whole_video_before_interruption(p));
+  p.duration_s = 100.0;  // above it
+  EXPECT_FALSE(downloads_whole_video_before_interruption(p));
+}
+
+TEST(InterruptionTest, UnusedBytesShortVideoFullyDownloaded) {
+  InterruptionParams p;
+  p.encoding_bps = 1e6;
+  p.duration_s = 40.0;
+  p.buffered_playback_s = 40.0;
+  p.accumulation_ratio = 1.25;
+  p.beta = 0.2;
+  // Whole video (5 MB) downloaded; viewer watched 8 s (1 MB).
+  const double expected = (40.0 - 0.2 * 40.0) * 1e6 / 8.0;
+  EXPECT_NEAR(unused_bytes(p), expected, 1.0);
+}
+
+TEST(InterruptionTest, UnusedBytesLongVideoPartialDownload) {
+  InterruptionParams p;
+  p.encoding_bps = 1e6;
+  p.duration_s = 1000.0;
+  p.buffered_playback_s = 40.0;
+  p.accumulation_ratio = 1.25;
+  p.beta = 0.2;
+  // Downloaded: B + G*tau = (40 + 1.25*200) s-of-content; watched: 200 s.
+  const double expected = (40.0 + 1.25 * 200.0 - 200.0) * 1e6 / 8.0;
+  EXPECT_NEAR(unused_bytes(p), expected, 1.0);
+}
+
+TEST(InterruptionTest, SmallerBufferWastesLess) {
+  InterruptionParams big;
+  big.duration_s = 600.0;
+  big.buffered_playback_s = 80.0;
+  InterruptionParams small = big;
+  small.buffered_playback_s = 10.0;
+  EXPECT_LT(unused_bytes(small), unused_bytes(big));
+}
+
+TEST(InterruptionTest, SmallerAccumulationRatioWastesLess) {
+  InterruptionParams fast;
+  fast.duration_s = 600.0;
+  fast.accumulation_ratio = 2.0;
+  InterruptionParams slow = fast;
+  slow.accumulation_ratio = 1.0;
+  EXPECT_LT(unused_bytes(slow), unused_bytes(fast));
+}
+
+TEST(InterruptionTest, WastedBandwidthScalesWithLambda) {
+  InterruptionParams p;
+  p.duration_s = 600.0;
+  EXPECT_DOUBLE_EQ(wasted_bandwidth_bps(2.0, p), 2.0 * unused_bytes(p) * 8.0);
+  EXPECT_THROW((void)wasted_bandwidth_bps(0.0, p), std::invalid_argument);
+}
+
+TEST(InterruptionTest, ParameterValidation) {
+  InterruptionParams p;
+  p.encoding_bps = 0.0;
+  EXPECT_THROW((void)unused_bytes(p), std::invalid_argument);
+  p = InterruptionParams{};
+  p.beta = 1.5;
+  EXPECT_THROW((void)unused_bytes(p), std::invalid_argument);
+  p = InterruptionParams{};
+  p.accumulation_ratio = 0.5;
+  EXPECT_THROW((void)unused_bytes(p), std::invalid_argument);
+}
+
+TEST(WasteMonteCarloTest, MatchesClosedFormForDeterministicDraws) {
+  WasteMonteCarloConfig cfg;
+  cfg.lambda_per_s = 1.0;
+  cfg.draws = 1000;
+  cfg.buffered_playback_s = 40.0;
+  cfg.accumulation_ratio = 1.25;
+  cfg.draw_encoding_bps = [](sim::Rng&) { return 1e6; };
+  cfg.draw_duration_s = [](sim::Rng&) { return 600.0; };
+  cfg.draw_beta = [](sim::Rng&) { return 0.2; };
+  const auto est = estimate_wasted_bandwidth(cfg);
+
+  InterruptionParams p;
+  p.encoding_bps = 1e6;
+  p.duration_s = 600.0;
+  p.buffered_playback_s = 40.0;
+  p.accumulation_ratio = 1.25;
+  p.beta = 0.2;
+  EXPECT_NEAR(est.wasted_bps, wasted_bandwidth_bps(1.0, p), 1.0);
+  EXPECT_GT(est.waste_fraction, 0.0);
+  EXPECT_LT(est.waste_fraction, 1.0);
+}
+
+TEST(WasteMonteCarloTest, FinamoreViewingPattern) {
+  // Finamore et al. (cited in §6.2): 60% of videos watched < 20% of their
+  // duration. With such early interruptions most transferred bytes are
+  // wasted under an aggressive 40 s buffering policy.
+  WasteMonteCarloConfig cfg;
+  cfg.draws = 20000;
+  cfg.buffered_playback_s = 40.0;
+  cfg.accumulation_ratio = 1.25;
+  cfg.draw_encoding_bps = [](sim::Rng& r) { return r.uniform(0.2e6, 1.5e6); };
+  cfg.draw_duration_s = [](sim::Rng& r) { return r.uniform(60.0, 600.0); };
+  cfg.draw_beta = [](sim::Rng& r) {
+    return r.bernoulli(0.6) ? r.uniform(0.01, 0.2) : r.uniform(0.2, 0.99);
+  };
+  const auto est = estimate_wasted_bandwidth(cfg);
+  EXPECT_GT(est.waste_fraction, 0.3);
+}
+
+TEST(WasteMonteCarloTest, ZeroDrawsThrows) {
+  WasteMonteCarloConfig cfg;
+  cfg.draws = 0;
+  EXPECT_THROW((void)estimate_wasted_bandwidth(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vstream::model

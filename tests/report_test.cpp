@@ -1,0 +1,137 @@
+// Tests for the SessionReport aggregation and the migration-scenario model.
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "model/migration.hpp"
+#include "net/profile.hpp"
+#include "streaming/session.hpp"
+
+namespace vstream {
+namespace {
+
+streaming::SessionConfig flash_config() {
+  streaming::SessionConfig cfg;
+  cfg.service = streaming::Service::kYouTube;
+  cfg.container = video::Container::kFlash;
+  cfg.application = streaming::Application::kInternetExplorer;
+  auto network = net::profile_for(net::Vantage::kResearch);
+  network.loss_rate = 0.0;
+  cfg.network = network;
+  cfg.video.id = "r";
+  cfg.video.duration_s = 600.0;
+  cfg.video.encoding_bps = 1e6;
+  cfg.capture_duration_s = 120.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(SessionReportTest, FlashSessionFieldsPopulated) {
+  const auto result = streaming::run_session(flash_config());
+  analysis::ReportOptions opts;
+  opts.encoding_bps = result.encoding_bps_true;
+  const auto report = analysis::build_report(result.trace, opts);
+
+  EXPECT_EQ(report.strategy, analysis::Strategy::kShortOnOff);
+  EXPECT_TRUE(report.has_steady_state);
+  EXPECT_NEAR(report.median_block_kb, 64.0, 5.0);
+  ASSERT_TRUE(report.accumulation_ratio.has_value());
+  EXPECT_NEAR(*report.accumulation_ratio, 1.25, 0.1);
+  ASSERT_TRUE(report.buffered_playback_s.has_value());
+  EXPECT_NEAR(*report.buffered_playback_s, 40.0, 8.0);
+  ASSERT_TRUE(report.rtt_ms.has_value());
+  EXPECT_NEAR(*report.rtt_ms, 20.0, 5.0);
+  ASSERT_TRUE(report.median_first_rtt_kb.has_value());
+  EXPECT_NEAR(*report.median_first_rtt_kb, 64.0, 10.0);  // no ack clock
+  ASSERT_TRUE(report.cycle_period_s.has_value());
+  EXPECT_NEAR(*report.cycle_period_s, 0.42, 0.1);
+  EXPECT_EQ(report.connections, 1U);
+  EXPECT_GT(report.packets, 1000U);
+}
+
+TEST(SessionReportTest, RenderContainsKeyLines) {
+  const auto result = streaming::run_session(flash_config());
+  const auto report = analysis::build_report(result.trace);
+  const std::string text = report.render();
+  EXPECT_NE(text.find("strategy"), std::string::npos);
+  EXPECT_NE(text.find("Short ON-OFF"), std::string::npos);
+  EXPECT_NE(text.find("buffering"), std::string::npos);
+  EXPECT_NE(text.find("steady state"), std::string::npos);
+  EXPECT_NE(text.find("zero-window"), std::string::npos);
+}
+
+TEST(SessionReportTest, EmptyTraceRendersGracefully) {
+  const auto report = analysis::build_report(capture::PacketTrace{});
+  EXPECT_EQ(report.strategy, analysis::Strategy::kNoOnOff);
+  EXPECT_FALSE(report.has_steady_state);
+  EXPECT_FALSE(report.rtt_ms.has_value());
+  EXPECT_FALSE(report.render().empty());
+}
+
+// --------------------------------------------------------------- migration
+
+TEST(MigrationTest, ProfilesSumAndEvaluate) {
+  const auto scenarios = model::paper_conclusion_scenarios(1.0);
+  ASSERT_EQ(scenarios.size(), 4U);
+  for (const auto& s : scenarios) {
+    EXPECT_NEAR(s.total_share(), 1.0, 1e-9) << s.name;
+    const auto impact = model::evaluate_scenario(s, 5000);
+    EXPECT_GT(impact.mean_rate_bps, 0.0) << s.name;
+    EXPECT_GT(impact.rate_sd_bps, 0.0) << s.name;
+    EXPECT_GT(impact.wasted_bps, 0.0) << s.name;
+    EXPECT_GT(impact.waste_fraction, 0.0) << s.name;
+    EXPECT_LT(impact.waste_fraction, 1.0) << s.name;
+  }
+}
+
+TEST(MigrationTest, EqualRatesKeepMeanRateStable) {
+  // Section 6.1 conclusion 2 at population scale: swapping strategies with
+  // equal encoding rates leaves E[R] unchanged.
+  const auto scenarios = model::paper_conclusion_scenarios(1.0);
+  const auto status_quo = model::evaluate_scenario(scenarios[0], 5000);
+  const auto html5 = model::evaluate_scenario(scenarios[1], 5000);
+  EXPECT_NEAR(html5.mean_rate_bps, status_quo.mean_rate_bps, status_quo.mean_rate_bps * 0.01);
+}
+
+TEST(MigrationTest, Html5MigrationIncreasesWaste) {
+  // HTML5 clients buffer 10-15 MB regardless of rate => more unused bytes.
+  const auto scenarios = model::paper_conclusion_scenarios(1.0);
+  const auto status_quo = model::evaluate_scenario(scenarios[0], 20000);
+  const auto html5 = model::evaluate_scenario(scenarios[1], 20000);
+  EXPECT_GT(html5.wasted_bps, status_quo.wasted_bps);
+}
+
+TEST(MigrationTest, HdMigrationScalesRateLinearly) {
+  const auto scenarios = model::paper_conclusion_scenarios(1.0);
+  const auto status_quo = model::evaluate_scenario(scenarios[0], 5000);
+  const auto hd = model::evaluate_scenario(scenarios[3], 5000);
+  EXPECT_GT(hd.mean_rate_bps, 1.5 * status_quo.mean_rate_bps);
+  // Smoother: coefficient of variation decreases.
+  const double cov_before = status_quo.rate_sd_bps / status_quo.mean_rate_bps;
+  const double cov_after = hd.rate_sd_bps / hd.mean_rate_bps;
+  EXPECT_LT(cov_after, cov_before);
+}
+
+TEST(MigrationTest, ValidatesInput) {
+  model::MigrationScenario empty;
+  EXPECT_THROW((void)model::evaluate_scenario(empty), std::invalid_argument);
+  model::MigrationScenario zero;
+  zero.mix = {model::StrategyProfile::youtube_flash(0.0)};
+  EXPECT_THROW((void)model::evaluate_scenario(zero), std::invalid_argument);
+}
+
+TEST(MigrationTest, ShareScalesLambdaProportionally) {
+  model::MigrationScenario half;
+  half.name = "half";
+  half.lambda_per_s = 1.0;
+  half.mix = {model::StrategyProfile::youtube_flash(1.0)};
+  const auto full_impact = model::evaluate_scenario(half, 5000);
+
+  model::MigrationScenario doubled = half;
+  doubled.lambda_per_s = 2.0;
+  const auto double_impact = model::evaluate_scenario(doubled, 5000);
+  EXPECT_NEAR(double_impact.mean_rate_bps, 2.0 * full_impact.mean_rate_bps,
+              full_impact.mean_rate_bps * 0.01);
+}
+
+}  // namespace
+}  // namespace vstream

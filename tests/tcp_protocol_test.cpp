@@ -1,0 +1,373 @@
+// Protocol-level TCP unit tests: drive one endpoint by injecting crafted
+// segments and asserting on exactly what it transmits. Complements the
+// end-to-end tcp_test/tcp_stress_test suites with deterministic checks of
+// individual state transitions (handshake fields, dup-ACK counting, SACK
+// blocks, delayed-ACK policy, window updates, FIN sequencing).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "tcp/connection.hpp"
+
+namespace vstream::tcp {
+namespace {
+
+using net::TcpFlag;
+using net::TcpSegment;
+using sim::Duration;
+using sim::SimTime;
+
+/// Harness around a single endpoint: its transmissions are captured into
+/// `sent`, and the test injects whatever segments it likes.
+struct EndpointHarness {
+  explicit EndpointHarness(TcpOptions options = {}, std::string label = "uut")
+      : link{sim, fast_link(), nullptr, sim::Rng{1}},
+        endpoint{sim, 1, options, std::move(label)},
+        tx_tags{std::make_shared<TagChannel>()},
+        rx_tags{std::make_shared<TagChannel>()} {
+    link.set_receiver([this](const TcpSegment& s) { sent.push_back(s); });
+    endpoint.attach(link, tx_tags, rx_tags);
+  }
+
+  static net::Link::Config fast_link() {
+    net::Link::Config cfg;
+    cfg.rate_bps = 1e12;  // negligible serialisation
+    cfg.prop_delay = sim::Duration::micros(1);
+    cfg.queue_limit_bytes = 1U << 30U;
+    return cfg;
+  }
+
+  /// Run the event loop so transmissions reach `sent`.
+  void settle(double seconds = 0.01) {
+    sim.run_until(sim.now() + Duration::seconds(seconds));
+  }
+
+  void inject(TcpSegment s) {
+    endpoint.on_segment(s);
+    settle();
+  }
+
+  TcpSegment synack(std::uint64_t window = 1 << 20) {
+    TcpSegment s;
+    s.seq = 0;
+    s.ack = 1;
+    s.flags = TcpFlag::kSyn | TcpFlag::kAck;
+    s.window_bytes = window;
+    return s;
+  }
+
+  TcpSegment pure_ack(std::uint64_t ack, std::uint64_t window = 1 << 20) {
+    TcpSegment s;
+    s.seq = 1;
+    s.ack = ack;
+    s.flags = TcpFlag::kAck;
+    s.window_bytes = window;
+    return s;
+  }
+
+  std::vector<TcpSegment> take_sent() {
+    auto out = std::move(sent);
+    sent.clear();
+    return out;
+  }
+
+  sim::Simulator sim;
+  net::Link link;
+  Endpoint endpoint;
+  std::shared_ptr<TagChannel> tx_tags;
+  std::shared_ptr<TagChannel> rx_tags;
+  std::vector<TcpSegment> sent;
+};
+
+TEST(TcpProtocolTest, SynCarriesNoAckAndSeqZero) {
+  EndpointHarness h;
+  h.endpoint.connect();
+  h.settle();
+  ASSERT_EQ(h.sent.size(), 1U);
+  const auto& syn = h.sent[0];
+  EXPECT_TRUE(syn.has(TcpFlag::kSyn));
+  EXPECT_FALSE(syn.has(TcpFlag::kAck));
+  EXPECT_EQ(syn.seq, 0U);
+  EXPECT_EQ(syn.payload_bytes, 0U);
+  EXPECT_GT(syn.window_bytes, 0U);
+}
+
+TEST(TcpProtocolTest, HandshakeCompletesAndAcksSynAck) {
+  EndpointHarness h;
+  h.endpoint.connect();
+  h.settle();
+  h.take_sent();
+  h.inject(h.synack());
+  EXPECT_EQ(h.endpoint.state(), TcpState::kEstablished);
+  const auto out = h.take_sent();
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(out[0].has(TcpFlag::kAck));
+  EXPECT_EQ(out[0].ack, 1U);  // SYN consumed one sequence number
+}
+
+TEST(TcpProtocolTest, DataSegmentationRespectsMss) {
+  TcpOptions opts;
+  opts.mss = 1000;
+  EndpointHarness h{opts};
+  h.endpoint.connect();
+  h.settle();
+  h.inject(h.synack());
+  h.take_sent();
+  h.endpoint.send(2500);
+  h.settle();
+  const auto out = h.take_sent();
+  ASSERT_EQ(out.size(), 3U);
+  EXPECT_EQ(out[0].payload_bytes, 1000U);
+  EXPECT_EQ(out[0].seq, 1U);
+  EXPECT_EQ(out[1].payload_bytes, 1000U);
+  EXPECT_EQ(out[1].seq, 1001U);
+  EXPECT_EQ(out[2].payload_bytes, 500U);
+  EXPECT_EQ(out[2].seq, 2001U);
+  EXPECT_TRUE(out[2].has(TcpFlag::kPsh));  // end of the application write
+}
+
+TEST(TcpProtocolTest, PeerWindowLimitsFlight) {
+  EndpointHarness h;
+  h.endpoint.connect();
+  h.settle();
+  h.inject(h.synack(3000));  // peer window: ~2 segments
+  h.take_sent();
+  h.endpoint.send(100'000);
+  h.settle();
+  const auto out = h.take_sent();
+  std::uint64_t flight = 0;
+  for (const auto& s : out) flight += s.payload_bytes;
+  EXPECT_LE(flight, 3000U);
+  EXPECT_EQ(h.endpoint.bytes_in_flight(), flight);
+}
+
+TEST(TcpProtocolTest, ThreeDupAcksTriggerExactlyOneFastRetransmit) {
+  EndpointHarness h;
+  h.endpoint.connect();
+  h.settle();
+  h.inject(h.synack());
+  h.endpoint.send(20'000);
+  h.settle();
+  h.take_sent();
+
+  // Three duplicate ACKs for the first byte.
+  for (int i = 0; i < 2; ++i) {
+    h.inject(h.pure_ack(1));
+    EXPECT_TRUE(h.take_sent().empty()) << "retransmit before the 3rd dup ack";
+  }
+  h.inject(h.pure_ack(1));
+  const auto out = h.take_sent();
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(out[0].is_retransmission);
+  EXPECT_EQ(out[0].seq, 1U);
+  EXPECT_EQ(h.endpoint.stats().fast_retransmits, 1U);
+}
+
+TEST(TcpProtocolTest, SackBlocksSuppressRetransmissionOfReceivedRanges) {
+  TcpOptions opts;
+  opts.mss = 1000;
+  EndpointHarness h{opts};
+  h.endpoint.connect();
+  h.settle();
+  h.inject(h.synack());
+  h.endpoint.send(10'000);
+  h.settle();
+  h.take_sent();
+
+  // Dup ACKs carrying SACK for [1001, 4001): only segment 1 is missing.
+  for (int i = 0; i < 3; ++i) {
+    auto ack = h.pure_ack(1);
+    ack.sack.emplace_back(1001, 4001);
+    h.inject(ack);
+  }
+  const auto out = h.take_sent();
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(out[0].is_retransmission);
+  EXPECT_EQ(out[0].seq, 1U);
+  EXPECT_EQ(out[0].payload_bytes, 1000U);  // capped before the SACKed run
+  // No retransmission of the SACKed range itself.
+  for (const auto& s : out) {
+    if (!s.is_retransmission) continue;
+    EXPECT_TRUE(s.seq + s.payload_bytes <= 1001 || s.seq >= 4001)
+        << "retransmitted a SACKed byte at seq " << s.seq;
+  }
+}
+
+TEST(TcpProtocolTest, DelayedAckEverySecondSegment) {
+  TcpOptions opts;
+  opts.mss = 1000;
+  EndpointHarness h{opts};
+  h.endpoint.listen();
+  TcpSegment syn;
+  syn.seq = 0;
+  syn.flags = TcpFlag::kSyn;
+  syn.window_bytes = 1 << 20;
+  h.inject(syn);
+  h.take_sent();  // SYN-ACK
+  h.inject(h.pure_ack(1));
+  h.take_sent();
+
+  // First data segment: ACK deferred (delayed-ACK timer).
+  TcpSegment d1;
+  d1.seq = 1;
+  d1.payload_bytes = 1000;
+  d1.flags = TcpFlag::kAck;
+  d1.ack = 1;
+  d1.window_bytes = 1 << 20;
+  h.inject(d1);
+  EXPECT_TRUE(h.take_sent().empty());
+
+  // Second segment: immediate cumulative ACK.
+  TcpSegment d2 = d1;
+  d2.seq = 1001;
+  h.inject(d2);
+  const auto out = h.take_sent();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].ack, 2001U);
+  EXPECT_EQ(out[0].payload_bytes, 0U);
+}
+
+TEST(TcpProtocolTest, DelayedAckTimerFiresForLoneSegment) {
+  EndpointHarness h;
+  h.endpoint.listen();
+  TcpSegment syn;
+  syn.seq = 0;
+  syn.flags = TcpFlag::kSyn;
+  syn.window_bytes = 1 << 20;
+  h.inject(syn);
+  h.take_sent();
+  h.inject(h.pure_ack(1));
+  h.take_sent();
+
+  TcpSegment d1;
+  d1.seq = 1;
+  d1.payload_bytes = 500;
+  d1.flags = TcpFlag::kAck;
+  d1.ack = 1;
+  d1.window_bytes = 1 << 20;
+  h.inject(d1);
+  EXPECT_TRUE(h.take_sent().empty());
+  h.settle(0.1);  // > delayed-ACK timeout (40 ms)
+  const auto out = h.take_sent();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].ack, 501U);
+}
+
+TEST(TcpProtocolTest, OutOfOrderSegmentGetsImmediateDupAckWithSack) {
+  EndpointHarness h;
+  h.endpoint.listen();
+  TcpSegment syn;
+  syn.seq = 0;
+  syn.flags = TcpFlag::kSyn;
+  syn.window_bytes = 1 << 20;
+  h.inject(syn);
+  h.take_sent();
+  h.inject(h.pure_ack(1));
+  h.take_sent();
+
+  TcpSegment ooo;
+  ooo.seq = 1461;  // hole at [1, 1461)
+  ooo.payload_bytes = 1460;
+  ooo.flags = TcpFlag::kAck;
+  ooo.ack = 1;
+  ooo.window_bytes = 1 << 20;
+  h.inject(ooo);
+  const auto out = h.take_sent();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].ack, 1U);  // duplicate ACK for the hole
+  ASSERT_EQ(out[0].sack.size(), 1U);
+  EXPECT_EQ(out[0].sack[0].first, 1461U);
+  EXPECT_EQ(out[0].sack[0].second, 2921U);
+  EXPECT_EQ(h.endpoint.available(), 0U);  // nothing readable yet
+}
+
+TEST(TcpProtocolTest, HoleFillDeliversEverythingAndAcksCumulatively) {
+  EndpointHarness h;
+  h.endpoint.listen();
+  TcpSegment syn;
+  syn.seq = 0;
+  syn.flags = TcpFlag::kSyn;
+  syn.window_bytes = 1 << 20;
+  h.inject(syn);
+  h.take_sent();
+  h.inject(h.pure_ack(1));
+  h.take_sent();
+
+  TcpSegment ooo;
+  ooo.seq = 1461;
+  ooo.payload_bytes = 1460;
+  ooo.flags = TcpFlag::kAck;
+  ooo.ack = 1;
+  ooo.window_bytes = 1 << 20;
+  h.inject(ooo);
+  h.take_sent();
+
+  TcpSegment fill = ooo;
+  fill.seq = 1;
+  h.inject(fill);
+  const auto out = h.take_sent();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].ack, 2921U);  // cumulative past the merged range
+  EXPECT_TRUE(out[0].sack.empty());
+  EXPECT_EQ(h.endpoint.available(), 2920U);
+}
+
+TEST(TcpProtocolTest, FinSentAfterAllDataAndStateAdvances) {
+  EndpointHarness h;
+  h.endpoint.connect();
+  h.settle();
+  h.inject(h.synack());
+  h.take_sent();
+  h.endpoint.send(1000);
+  h.endpoint.close();
+  h.settle();
+  const auto out = h.take_sent();
+  ASSERT_GE(out.size(), 2U);
+  const auto& fin = out.back();
+  EXPECT_TRUE(fin.has(TcpFlag::kFin));
+  EXPECT_EQ(fin.seq, 1001U);  // right after the data
+  EXPECT_EQ(h.endpoint.state(), TcpState::kFinSent);
+  h.inject(h.pure_ack(1002));  // covers data + FIN
+  EXPECT_EQ(h.endpoint.state(), TcpState::kFinished);
+}
+
+TEST(TcpProtocolTest, RtoRollbackResendsOutstandingData) {
+  TcpOptions opts;
+  opts.mss = 1000;
+  opts.initial_rto = Duration::millis(50);
+  opts.min_rto = Duration::millis(50);
+  EndpointHarness h{opts};
+  h.endpoint.connect();
+  h.settle();
+  h.inject(h.synack());
+  h.endpoint.send(3000);
+  h.settle();
+  h.take_sent();
+  // No ACKs arrive: RTO must fire and re-send from snd_una.
+  h.settle(0.3);
+  const auto out = h.take_sent();
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(out[0].is_retransmission);
+  EXPECT_EQ(out[0].seq, 1U);
+  EXPECT_GE(h.endpoint.stats().timeouts, 1U);
+  // cwnd collapsed to one loss window.
+  EXPECT_EQ(h.endpoint.cwnd_bytes(), opts.mss);
+}
+
+TEST(TcpProtocolTest, AckAboveSndMaxIsIgnored) {
+  EndpointHarness h;
+  h.endpoint.connect();
+  h.settle();
+  h.inject(h.synack());
+  h.endpoint.send(1000);
+  h.settle();
+  h.take_sent();
+  h.inject(h.pure_ack(999'999));  // bogus
+  EXPECT_EQ(h.endpoint.bytes_in_flight(), 1000U);  // unchanged
+  h.inject(h.pure_ack(1001));
+  EXPECT_EQ(h.endpoint.bytes_in_flight(), 0U);
+}
+
+}  // namespace
+}  // namespace vstream::tcp

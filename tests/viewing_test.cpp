@@ -1,0 +1,103 @@
+// Tests for the viewer-behaviour models (Zipf popularity, watch-fraction
+// distribution) that feed the Section 6.2 interruption experiments.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "video/viewing.hpp"
+
+namespace vstream::video {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOneAndDecay) {
+  const ZipfSampler zipf{100, 1.0};
+  double total = 0.0;
+  double prev = 1.0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) {
+    const double p = zipf.probability(r);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_THROW((void)zipf.probability(100), std::out_of_range);
+}
+
+TEST(ZipfTest, TopRankDominatesSampling) {
+  const ZipfSampler zipf{1000, 1.0};
+  sim::Rng rng{5};
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  // Empirical frequency of rank 0 close to its probability (~1/H_1000).
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, zipf.probability(0),
+              0.2 * zipf.probability(0) + 0.005);
+  // The head outweighs the tail: top-10 ranks beat ranks 500-510 combined.
+  int head = 0;
+  int tail = 0;
+  for (std::size_t r = 0; r < 10; ++r) head += counts[r];
+  for (std::size_t r = 500; r < 510; ++r) tail += counts[r];
+  EXPECT_GT(head, 5 * std::max(tail, 1));
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  const ZipfSampler zipf{10, 0.0};
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_NEAR(zipf.probability(r), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, Validation) {
+  EXPECT_THROW((ZipfSampler{0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((ZipfSampler{10, -1.0}), std::invalid_argument);
+}
+
+TEST(ViewingModelTest, FinamoreShapeAtTypicalDuration) {
+  // ~60% of typical-length videos watched for < 20% of their duration.
+  const ViewingModel model;
+  sim::Rng rng{7};
+  int early = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (model.draw_watch_fraction(rng, 210.0) < 0.2) ++early;
+  }
+  EXPECT_NEAR(static_cast<double>(early) / kDraws, 0.6, 0.03);
+}
+
+TEST(ViewingModelTest, LongerVideosQuitEarlierOnAverage) {
+  // Huang et al.: viewing fraction decreases with duration.
+  const ViewingModel model;
+  EXPECT_LT(model.early_quit_probability(1800.0), 0.96);
+  EXPECT_GT(model.early_quit_probability(1800.0), model.early_quit_probability(60.0));
+  sim::Rng rng{9};
+  double short_sum = 0.0;
+  double long_sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) short_sum += model.draw_watch_fraction(rng, 60.0);
+  for (int i = 0; i < kDraws; ++i) long_sum += model.draw_watch_fraction(rng, 1800.0);
+  EXPECT_LT(long_sum, short_sum);
+}
+
+TEST(ViewingModelTest, SomeViewersFinish) {
+  const ViewingModel model;
+  sim::Rng rng{11};
+  int finished = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (model.draw_watch_fraction(rng, 210.0) >= 1.0) ++finished;
+  }
+  // finish_fraction applies to the 40% non-early population: ~8% overall.
+  EXPECT_NEAR(finished / 5000.0, 0.4 * 0.2, 0.03);
+}
+
+TEST(ViewingModelTest, FractionAlwaysInRange) {
+  const ViewingModel model;
+  sim::Rng rng{13};
+  for (int i = 0; i < 5000; ++i) {
+    const double beta = model.draw_watch_fraction(rng, rng.uniform(30.0, 3600.0));
+    EXPECT_GT(beta, 0.0);
+    EXPECT_LE(beta, 1.0);
+  }
+  EXPECT_THROW((void)model.early_quit_probability(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vstream::video
