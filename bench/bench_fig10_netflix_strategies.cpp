@@ -68,9 +68,11 @@ BENCHMARK(BM_Fig10NetflixSession)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMill
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("fig10_netflix_strategies", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

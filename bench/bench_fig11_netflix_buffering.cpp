@@ -76,9 +76,11 @@ BENCHMARK(BM_Fig11NetflixBuffering)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("fig11_netflix_buffering", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

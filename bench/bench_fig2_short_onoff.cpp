@@ -82,9 +82,11 @@ BENCHMARK(BM_Fig2Html5Session)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("fig2_short_onoff", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

@@ -83,9 +83,11 @@ BENCHMARK(BM_Fig3FlashBufferingSession)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("fig3_buffering", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

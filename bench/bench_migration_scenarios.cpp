@@ -60,9 +60,11 @@ BENCHMARK(BM_EvaluateScenario)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("migration_scenarios", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

@@ -100,9 +100,11 @@ BENCHMARK(BM_MonteCarloAggregate)->Arg(500)->Arg(1000)->Arg(2000)->Unit(benchmar
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("model_aggregate", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

@@ -153,9 +153,11 @@ BENCHMARK(BM_SuperposeSessions)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("model_empirical", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

@@ -112,9 +112,11 @@ BENCHMARK(BM_WasteMonteCarlo)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillise
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("model_interruption", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

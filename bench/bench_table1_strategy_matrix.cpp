@@ -114,9 +114,11 @@ BENCHMARK(BM_ClassifyOneSession)->Arg(0)->Arg(3)->Arg(6)->Arg(12)->Unit(benchmar
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("table1_strategy_matrix", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

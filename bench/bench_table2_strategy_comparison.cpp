@@ -100,9 +100,11 @@ BENCHMARK(BM_StrategyRowWithInterruption)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmar
 }  // namespace
 
 int main(int argc, char** argv) {
+  vstream::bench::RunTelemetry::instance().init("table2_strategy_comparison", &argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  vstream::bench::RunTelemetry::instance().finalize();
   return 0;
 }

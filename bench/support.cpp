@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 namespace vstream::bench {
@@ -37,6 +39,7 @@ SessionOutcome run_and_analyze(const streaming::SessionConfig& config) {
   out.result = streaming::run_session(config);
   out.analysis = analysis::analyze_on_off(out.result.trace);
   out.decision = analysis::classify_strategy(out.analysis, out.result.trace);
+  RunTelemetry::instance().record(out);
   return out;
 }
 
@@ -157,6 +160,124 @@ void print_window_summary(const std::string& label, const capture::PacketTrace& 
   std::printf("%s: receive window min=%llu kB max=%llu kB zero-window episodes=%zu\n",
               label.c_str(), static_cast<unsigned long long>(min_w / 1024),
               static_cast<unsigned long long>(max_w / 1024), zero_episodes);
+}
+
+// ---- RunTelemetry --------------------------------------------------------
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return std::nan("");
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+}  // namespace
+
+RunTelemetry& RunTelemetry::instance() {
+  static RunTelemetry telemetry;
+  return telemetry;
+}
+
+void RunTelemetry::init(const std::string& name, int* argc, char** argv) {
+  name_ = name;
+  start_ = std::chrono::steady_clock::now();
+
+  // Strip `--metrics-out [path]` / `--metrics-out=path` before
+  // google-benchmark rejects the unknown flag.
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (i + 1 < *argc && argv[i + 1][0] != '-') {
+        out_path_ = argv[++i];
+      } else {
+        out_path_ = "BENCH_" + name_ + ".json";
+      }
+      continue;
+    }
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      out_path_ = arg + 14;
+      if (out_path_.empty()) out_path_ = "BENCH_" + name_ + ".json";
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+}
+
+void RunTelemetry::record(const SessionOutcome& outcome) {
+  if (!enabled()) return;
+  ++sessions_;
+  sim_time_s_ += outcome.result.full_trace.duration_s;
+  sim_events_ += outcome.result.sim_events;
+  sim_max_events_pending_ = std::max(sim_max_events_pending_, outcome.result.sim_max_events_pending);
+  block_sizes_bytes_.insert(block_sizes_bytes_.end(), outcome.analysis.block_sizes_bytes.begin(),
+                            outcome.analysis.block_sizes_bytes.end());
+  if (outcome.analysis.has_steady_state()) {
+    accumulation_ratios_.push_back(
+        outcome.analysis.accumulation_ratio(outcome.result.encoding_bps_true));
+  }
+  merged_.merge_from(outcome.result.metrics);
+}
+
+void RunTelemetry::note_metric(const std::string& name, double value) {
+  if (!enabled()) return;
+  extra_[name] = value;
+}
+
+void RunTelemetry::finalize() {
+  if (!enabled()) return;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+
+  std::string out;
+  out += "{\"bench\":\"" + name_ + "\"";
+  out += ",\"wall_time_s\":";
+  append_json_number(out, wall_s);
+  out += ",\"sessions\":" + std::to_string(sessions_);
+  out += ",\"sim_time_s\":";
+  append_json_number(out, sim_time_s_);
+  out += ",\"sim_events\":" + std::to_string(sim_events_);
+  out += ",\"events_per_sec\":";
+  append_json_number(out, wall_s > 0.0 ? static_cast<double>(sim_events_) / wall_s
+                                       : std::nan(""));
+  out += ",\"sim_max_events_pending\":" + std::to_string(sim_max_events_pending_);
+  out += ",\"median_block_kb\":";
+  append_json_number(out, median_of(block_sizes_bytes_) / 1024.0);
+  out += ",\"median_accumulation_ratio\":";
+  append_json_number(out, median_of(accumulation_ratios_));
+  out += ",\"extra\":{";
+  bool first = true;
+  for (const auto& [k, v] : extra_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + k + "\":";
+    append_json_number(out, v);
+  }
+  out += "}";
+  out += ",\"metrics\":" + merged_.to_json();
+  out += "}\n";
+
+  std::ofstream file{out_path_};
+  if (!file) {
+    std::fprintf(stderr, "RunTelemetry: cannot write %s\n", out_path_.c_str());
+    return;
+  }
+  file << out;
+  std::printf("\n[telemetry] wrote %s (%zu sessions, %.1f s wall)\n", out_path_.c_str(),
+              sessions_, wall_s);
 }
 
 }  // namespace vstream::bench

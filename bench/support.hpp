@@ -9,13 +9,16 @@
 // CSV for external plotting.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/onoff.hpp"
 #include "analysis/strategy.hpp"
 #include "net/profile.hpp"
+#include "obs/metrics.hpp"
 #include "stats/cdf.hpp"
 #include "streaming/session.hpp"
 #include "video/datasets.hpp"
@@ -75,5 +78,51 @@ void print_window_summary(const std::string& label, const capture::PacketTrace& 
 
 /// Directory for CSV side-output (VSTREAM_BENCH_CSV_DIR), empty if unset.
 [[nodiscard]] std::string csv_dir();
+
+// ---- machine-readable run telemetry --------------------------------------
+
+/// Aggregated run telemetry behind the `--metrics-out [path]` flag. Each
+/// bench main calls `init` before benchmark::Initialize (init strips the
+/// flag from argv so google-benchmark never sees it) and `finalize` last
+/// thing before returning. `run_and_analyze` folds every session into the
+/// active collector automatically: per-session registry snapshots merge
+/// (counters add, gauges take the max), simulator event counts and block
+/// sizes accumulate. `finalize` writes one JSON object — wall time,
+/// sessions, events/sec, median block size, median accumulation ratio, any
+/// `note_metric` extras, and the merged registry snapshot — to the given
+/// path (default `BENCH_<name>.json`).
+class RunTelemetry {
+ public:
+  static RunTelemetry& instance();
+
+  /// Parse and strip `--metrics-out [path]` / `--metrics-out=path`. Bare
+  /// flag defaults the output file to BENCH_<name>.json.
+  void init(const std::string& name, int* argc, char** argv);
+
+  [[nodiscard]] bool enabled() const { return !out_path_.empty(); }
+  [[nodiscard]] const std::string& out_path() const { return out_path_; }
+
+  /// Fold one analysed session into the aggregate (no-op when disabled).
+  void record(const SessionOutcome& outcome);
+
+  /// Attach a named scalar to the report's "extra" object.
+  void note_metric(const std::string& name, double value);
+
+  /// Write the JSON report (no-op when --metrics-out was not given).
+  void finalize();
+
+ private:
+  std::string name_;
+  std::string out_path_;
+  std::chrono::steady_clock::time_point start_{};
+  std::size_t sessions_{0};
+  double sim_time_s_{0.0};
+  std::uint64_t sim_events_{0};
+  std::size_t sim_max_events_pending_{0};
+  std::vector<double> block_sizes_bytes_;
+  std::vector<double> accumulation_ratios_;
+  obs::MetricsSnapshot merged_;
+  std::map<std::string, double> extra_;
+};
 
 }  // namespace vstream::bench

@@ -5,23 +5,60 @@
 // taken at the viewer side (the down direction is detected by which peer
 // sends the bulk of the payload).
 //
-// Usage: pcap_analyzer [--json] [--flows] [--dump] <file.pcap> [encoding_rate_mbps]
+// Usage: pcap_analyzer [--json] [--flows] [--dump] [--metrics out.json] <file.pcap>
+//        [encoding_rate_mbps]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "analysis/flows.hpp"
+#include "analysis/onoff.hpp"
 #include "analysis/report.hpp"
 #include "analysis/report_json.hpp"
 #include "capture/dump.hpp"
 #include "capture/pcap.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+/// Rebuild an offline metrics registry from the capture — the per-flow
+/// counters a live session's instrumentation would have produced — and
+/// write it with the flow table as one JSON object.
+bool write_metrics(const std::string& path, const vstream::capture::PacketTrace& trace,
+                   const vstream::analysis::FlowTable& table) {
+  using namespace vstream;
+  obs::MetricsRegistry reg;
+  reg.counter("analyzer.packets").inc(trace.packets.size());
+  reg.counter("analyzer.connections").inc(table.flows.size());
+  auto& flow_down = reg.histogram(
+      "analyzer.flow_down_bytes",
+      {64.0 * 1024, 1024.0 * 1024, 10.0 * 1024 * 1024, 100.0 * 1024 * 1024});
+  for (const auto& f : table.flows) {
+    reg.counter("analyzer.down_payload_bytes").inc(f.down_payload_bytes);
+    reg.counter("analyzer.up_payload_bytes").inc(f.up_payload_bytes);
+    reg.counter("analyzer.retransmitted_bytes").inc(f.retransmitted_bytes);
+    flow_down.observe(static_cast<double>(f.down_payload_bytes));
+  }
+  reg.counter("analyzer.zero_window_episodes")
+      .inc(analysis::count_zero_window_episodes(trace));
+  std::ofstream out{path};
+  if (!out) return false;
+  out << "{\"flows\":" << analysis::to_json(table)
+      << ",\"metrics\":" << reg.snapshot().to_json() << "}\n";
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vstream;
   bool as_json = false;
   bool with_flows = false;
   bool dump = false;
+  std::string metrics_path;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
     if (std::strcmp(argv[arg], "--json") == 0) {
@@ -30,6 +67,8 @@ int main(int argc, char** argv) {
       with_flows = true;
     } else if (std::strcmp(argv[arg], "--dump") == 0) {
       dump = true;
+    } else if (std::strcmp(argv[arg], "--metrics") == 0 && arg + 1 < argc) {
+      metrics_path = argv[++arg];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[arg]);
       return 2;
@@ -37,7 +76,9 @@ int main(int argc, char** argv) {
     ++arg;
   }
   if (arg >= argc) {
-    std::fprintf(stderr, "usage: %s [--json] [--flows] [--dump] <file.pcap> [encoding_rate_mbps]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--flows] [--dump] [--metrics out.json] <file.pcap> "
+                 "[encoding_rate_mbps]\n",
                  argv[0]);
     return 2;
   }
@@ -68,6 +109,13 @@ int main(int argc, char** argv) {
   analysis::ReportOptions options;
   if (argc > 2) options.encoding_bps = std::atof(argv[2]) * 1e6;
   const auto report = analysis::build_report(trace, options);
+  if (!metrics_path.empty()) {
+    if (!write_metrics(metrics_path, trace, analysis::build_flow_table(trace))) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+  }
   if (as_json) {
     std::printf("{\"report\":%s", analysis::to_json(report).c_str());
     if (with_flows) {

@@ -101,6 +101,16 @@ std::string to_json(const SessionReport& report) {
   return out.str();
 }
 
+std::string to_json(const SessionReport& report, const obs::MetricsSnapshot& metrics) {
+  std::string base = to_json(report);
+  if (metrics.empty()) return base;
+  base.pop_back();  // trailing '}'
+  base += ",\"metrics\":";
+  base += metrics.to_json();
+  base += "}";
+  return base;
+}
+
 std::string to_json(const FlowTable& table) {
   std::ostringstream out;
   out << "[";

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/context.hpp"
+
 namespace vstream::net {
 
 Link::Link(sim::Simulator& sim, Config config, std::unique_ptr<LossModel> loss, sim::Rng rng)
     : sim_{sim}, config_{config}, loss_{std::move(loss)}, rng_{rng} {
   if (config_.rate_bps <= 0.0) throw std::invalid_argument{"Link: rate must be positive"};
   if (!loss_) loss_ = std::make_unique<NoLoss>();
+  if (obs::ObsContext* obs = sim_.obs()) {
+    auto& reg = obs->metrics();
+    ctr_delivered_ = &reg.counter("net.segments_delivered");
+    ctr_drops_queue_ = &reg.counter("net.drops_queue");
+    ctr_drops_loss_ = &reg.counter("net.drops_loss");
+    gauge_queue_high_water_ = &reg.gauge("net.queue_high_water_bytes");
+  }
 }
 
 void Link::notify(const TcpSegment& segment, LinkEvent event) {
@@ -32,12 +41,16 @@ bool Link::send(const TcpSegment& segment) {
   const std::size_t wire = segment.wire_bytes();
   if (queued_bytes_ + wire > config_.queue_limit_bytes) {
     ++counters_.dropped_queue;
+    if (ctr_drops_queue_ != nullptr) ctr_drops_queue_->inc();
     notify(segment, LinkEvent::kDropQueue);
     return false;
   }
 
   ++counters_.enqueued;
   queued_bytes_ += wire;
+  if (gauge_queue_high_water_ != nullptr) {
+    gauge_queue_high_water_->set_max(static_cast<double>(queued_bytes_));
+  }
   notify(segment, LinkEvent::kEnqueue);
 
   const sim::SimTime start = std::max(sim_.now(), busy_until_);
@@ -52,11 +65,13 @@ bool Link::send(const TcpSegment& segment) {
     notify(segment, LinkEvent::kTransmit);
     if (lost) {
       ++counters_.dropped_loss;
+      if (ctr_drops_loss_ != nullptr) ctr_drops_loss_->inc();
       notify(segment, LinkEvent::kDropLoss);
       return;
     }
     sim_.schedule_after(config_.prop_delay, [this, segment] {
       ++counters_.delivered;
+      if (ctr_delivered_ != nullptr) ctr_delivered_->inc();
       counters_.bytes_delivered += segment.wire_bytes();
       notify(segment, LinkEvent::kDeliver);
       receiver_(segment);

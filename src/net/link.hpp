@@ -14,6 +14,11 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
+namespace vstream::obs {
+class Counter;
+class Gauge;
+}
+
 namespace vstream::net {
 
 enum class LinkEvent : std::uint8_t {
@@ -81,6 +86,13 @@ class Link {
   sim::SimTime busy_until_{sim::SimTime::zero()};
   std::size_t queued_bytes_{0};
   Counters counters_;
+
+  // Cached registry instruments (shared across all links of one world);
+  // null when the world runs unobserved.
+  obs::Counter* ctr_delivered_{nullptr};
+  obs::Counter* ctr_drops_queue_{nullptr};
+  obs::Counter* ctr_drops_loss_{nullptr};
+  obs::Gauge* gauge_queue_high_water_{nullptr};
 };
 
 }  // namespace vstream::net

@@ -1,0 +1,56 @@
+// Per-world observability context: one metrics registry plus one trace bus,
+// attached to a `Simulator` (see Simulator::set_obs). Components discover it
+// through their simulator reference, so instrumentation needs no extra
+// plumbing through constructors, and parallel simulations each get their
+// own isolated instance.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/periodic_timer.hpp"
+#include "sim/simulator.hpp"
+
+namespace vstream::obs {
+
+class ObsContext {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] TraceBus& trace() { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceBus trace_;
+};
+
+/// Shorthand used by instrumented components: the simulator's context, or
+/// nullptr when the world runs unobserved.
+[[nodiscard]] inline ObsContext* context_of(const sim::Simulator& sim) { return sim.obs(); }
+
+/// Samples simulator-loop health on a fixed sim-time period: events
+/// processed, queue depth (current and high water) and the sim-time /
+/// wall-time ratio since the previous sample. Each sample updates the
+/// registry gauges `sim.events_pending_high_water` and `sim.sim_wall_ratio`
+/// and, when a sink listens, emits a `SimLoopSample`.
+class SimLoopMonitor {
+ public:
+  SimLoopMonitor(sim::Simulator& sim, sim::Duration period);
+
+  void start();
+  void stop() { timer_.stop(); }
+
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  sim::PeriodicTimer timer_;
+  std::chrono::steady_clock::time_point last_wall_;
+  sim::SimTime last_sim_{};
+  std::uint64_t samples_{0};
+};
+
+}  // namespace vstream::obs

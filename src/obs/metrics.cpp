@@ -1,0 +1,268 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace vstream::obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : bounds_{std::move(upper_bounds)} {
+  if (bounds_.empty()) throw std::invalid_argument{"FixedHistogram: no buckets"};
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument{"FixedHistogram: bounds must be sorted"};
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void FixedHistogram::observe(double v) {
+  // First bucket whose inclusive upper edge admits the value; everything
+  // above the last bound lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, FixedHistogram{std::move(upper_bounds)}).first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c.value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g.value());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h.bounds();
+    data.counts = h.counts();
+    data.count = h.count();
+    data.sum = h.sum();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(name, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, h);
+    if (inserted) continue;
+    auto& mine = it->second;
+    if (mine.bounds != h.bounds) continue;  // incompatible layouts: keep ours
+    for (std::size_t i = 0; i < mine.counts.size() && i < h.counts.size(); ++i) {
+      mine.counts[i] += h.counts[i];
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+}
+
+namespace {
+
+void append_double(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+void append_quoted(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out << ',';
+    first = false;
+    append_quoted(out, name);
+    out << ':' << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out << ',';
+    first = false;
+    append_quoted(out, name);
+    out << ':';
+    append_double(out, v);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ',';
+    first = false;
+    append_quoted(out, name);
+    out << ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i != 0) out << ',';
+      append_double(out, h.bounds[i]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out << ',';
+      out << h.counts[i];
+    }
+    out << "],\"count\":" << h.count << ",\"sum\":";
+    append_double(out, h.sum);
+    out << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+// --------------------------------------------------------------- JSON parse
+//
+// A minimal recursive-descent reader for the subset `to_json` emits (string
+// keys, numbers, nested objects, flat numeric arrays). Kept here so tests
+// and tooling can round-trip snapshots without an external JSON dependency.
+
+namespace {
+
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : s_{text} {}
+
+  void ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])) != 0) ++i_;
+  }
+
+  void expect(char c) {
+    ws();
+    if (i_ >= s_.size() || s_[i_] != c) {
+      throw std::runtime_error{"parse_snapshot: expected '" + std::string{c} + "' at offset " +
+                               std::to_string(i_)};
+    }
+    ++i_;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    ws();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+  bool consume(char c) {
+    if (!peek(c)) return false;
+    ++i_;
+    return true;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) ++i_;
+      out += s_[i_++];
+    }
+    expect('"');
+    return out;
+  }
+
+  double number() {
+    ws();
+    if (s_.compare(i_, 4, "null") == 0) {
+      i_ += 4;
+      return 0.0;
+    }
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(s_.substr(i_), &used);
+    } catch (const std::exception&) {
+      throw std::runtime_error{"parse_snapshot: bad number at offset " + std::to_string(i_)};
+    }
+    i_ += used;
+    return v;
+  }
+
+  std::vector<double> number_array() {
+    std::vector<double> out;
+    expect('[');
+    if (consume(']')) return out;
+    do {
+      out.push_back(number());
+    } while (consume(','));
+    expect(']');
+    return out;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_{0};
+};
+
+}  // namespace
+
+MetricsSnapshot parse_snapshot(const std::string& json) {
+  MetricsSnapshot snap;
+  Reader r{json};
+  r.expect('{');
+  if (r.consume('}')) return snap;
+  do {
+    const std::string section = r.string();
+    r.expect(':');
+    r.expect('{');
+    if (r.consume('}')) continue;
+    do {
+      const std::string name = r.string();
+      r.expect(':');
+      if (section == "counters") {
+        snap.counters[name] = static_cast<std::uint64_t>(r.number());
+      } else if (section == "gauges") {
+        snap.gauges[name] = r.number();
+      } else if (section == "histograms") {
+        MetricsSnapshot::HistogramData h;
+        r.expect('{');
+        do {
+          const std::string field = r.string();
+          r.expect(':');
+          if (field == "bounds") {
+            h.bounds = r.number_array();
+          } else if (field == "counts") {
+            for (const double c : r.number_array()) {
+              h.counts.push_back(static_cast<std::uint64_t>(c));
+            }
+          } else if (field == "count") {
+            h.count = static_cast<std::uint64_t>(r.number());
+          } else if (field == "sum") {
+            h.sum = r.number();
+          } else {
+            throw std::runtime_error{"parse_snapshot: unknown histogram field " + field};
+          }
+        } while (r.consume(','));
+        r.expect('}');
+        snap.histograms.emplace(name, std::move(h));
+      } else {
+        throw std::runtime_error{"parse_snapshot: unknown section " + section};
+      }
+    } while (r.consume(','));
+    r.expect('}');
+  } while (r.consume(','));
+  r.expect('}');
+  return snap;
+}
+
+}  // namespace vstream::obs

@@ -1,0 +1,163 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace vstream::obs {
+
+namespace {
+
+void field(std::ostringstream& out, const char* key, double v) {
+  char buf[64];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "null");
+  }
+  out << ",\"" << key << "\":" << buf;
+}
+
+void field(std::ostringstream& out, const char* key, std::uint64_t v) {
+  out << ",\"" << key << "\":" << v;
+}
+
+void field(std::ostringstream& out, const char* key, const std::string& v) {
+  out << ",\"" << key << "\":\"";
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+struct JsonlWriter {
+  std::ostringstream& out;
+
+  void operator()(const TcpCwndSample& e) const {
+    field(out, "t", e.t_s);
+    field(out, "conn", e.connection_id);
+    field(out, "endpoint", e.endpoint);
+    field(out, "cwnd", e.cwnd);
+    field(out, "ssthresh", e.ssthresh);
+    field(out, "rwnd", e.rwnd);
+    field(out, "adv_wnd", e.adv_wnd);
+    field(out, "rto_s", e.rto_s);
+    field(out, "in_flight", e.bytes_in_flight);
+  }
+  void operator()(const SimLoopSample& e) const {
+    field(out, "t", e.t_s);
+    field(out, "events", e.events_processed);
+    field(out, "pending", e.events_pending);
+    field(out, "max_pending", e.max_events_pending);
+    field(out, "sim_wall_ratio", e.sim_wall_ratio);
+  }
+  void operator()(const PacingBlockEmitted& e) const {
+    field(out, "t", e.t_s);
+    field(out, "conn", e.connection_id);
+    field(out, "bytes", e.bytes);
+    field(out, "initial_burst", static_cast<std::uint64_t>(e.initial_burst ? 1 : 0));
+  }
+  void operator()(const PlayerStall& e) const {
+    field(out, "t", e.t_s);
+    field(out, "stalls", static_cast<std::uint64_t>(e.stall_count));
+  }
+  void operator()(const PlayerInterrupt& e) const {
+    field(out, "t", e.t_s);
+    field(out, "watched_s", e.watched_s);
+  }
+  void operator()(const ZeroWindowEpisode& e) const {
+    field(out, "t", e.t_s);
+    field(out, "conn", e.connection_id);
+    field(out, "endpoint", e.endpoint);
+    field(out, "duration_s", e.duration_s);
+  }
+};
+
+}  // namespace
+
+const char* event_type(const TraceEvent& event) {
+  struct Namer {
+    const char* operator()(const TcpCwndSample&) const { return "tcp_cwnd"; }
+    const char* operator()(const SimLoopSample&) const { return "sim_loop"; }
+    const char* operator()(const PacingBlockEmitted&) const { return "pacing_block"; }
+    const char* operator()(const PlayerStall&) const { return "player_stall"; }
+    const char* operator()(const PlayerInterrupt&) const { return "player_interrupt"; }
+    const char* operator()(const ZeroWindowEpisode&) const { return "zero_window"; }
+  };
+  return std::visit(Namer{}, event);
+}
+
+std::string to_jsonl(const TraceEvent& event) {
+  std::ostringstream out;
+  out << "{\"type\":\"" << event_type(event) << '"';
+  std::visit(JsonlWriter{out}, event);
+  out << '}';
+  return out.str();
+}
+
+namespace {
+
+/// Locate the value text after `"key":`, or npos.
+std::size_t value_offset(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+}  // namespace
+
+std::optional<double> jsonl_number(const std::string& line, const std::string& key) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string::npos) return std::nullopt;
+  try {
+    return std::stod(line.substr(at));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> jsonl_string(const std::string& line, const std::string& key) {
+  std::size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') return std::nullopt;
+  ++at;
+  std::string out;
+  while (at < line.size() && line[at] != '"') {
+    if (line[at] == '\\' && at + 1 < line.size()) ++at;
+    out += line[at++];
+  }
+  return out;
+}
+
+void TraceBus::attach(TraceSink* sink) {
+  if (sink == nullptr) throw std::invalid_argument{"TraceBus::attach: null sink"};
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) sinks_.push_back(sink);
+}
+
+void TraceBus::detach(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_{path} {
+  if (!out_) throw std::runtime_error{"JsonlFileSink: cannot open " + path};
+}
+
+void JsonlFileSink::on_event(const TraceEvent& event) {
+  out_ << to_jsonl(event) << '\n';
+  ++lines_;
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_{capacity} {
+  if (capacity_ == 0) throw std::invalid_argument{"RingBufferSink: zero capacity"};
+}
+
+void RingBufferSink::on_event(const TraceEvent& event) {
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(event);
+  ++total_;
+}
+
+}  // namespace vstream::obs

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -10,6 +11,7 @@ EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
   if (at < now_) at = now_;
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  max_events_pending_ = std::max(max_events_pending_, queue_.size());
   return EventHandle{cancelled};
 }
 

@@ -14,6 +14,10 @@
 
 #include "sim/time.hpp"
 
+namespace vstream::obs {
+class ObsContext;
+}
+
 namespace vstream::sim {
 
 /// Cancellation token for a scheduled event. Default-constructed handles are
@@ -66,6 +70,14 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
   [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+  /// Queue-depth high-water mark over the simulator's lifetime.
+  [[nodiscard]] std::size_t max_events_pending() const { return max_events_pending_; }
+
+  /// Attach (or clear, with nullptr) this world's observability context.
+  /// The simulator does not own it; instrumented components reach it via
+  /// `obs()` and must be constructed after it is set.
+  void set_obs(obs::ObsContext* obs) { obs_ = obs; }
+  [[nodiscard]] obs::ObsContext* obs() const { return obs_; }
 
  private:
   struct Event {
@@ -85,6 +97,8 @@ class Simulator {
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
   std::uint64_t events_processed_{0};
+  std::size_t max_events_pending_{0};
+  obs::ObsContext* obs_{nullptr};
 };
 
 }  // namespace vstream::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/context.hpp"
+
 namespace vstream::streaming {
 
 Player::Player(sim::Simulator& sim, PlayerConfig config)
@@ -12,6 +14,10 @@ Player::Player(sim::Simulator& sim, PlayerConfig config)
   if (config_.watch_fraction.has_value() &&
       (*config_.watch_fraction <= 0.0 || *config_.watch_fraction > 1.0)) {
     throw std::invalid_argument{"Player: watch fraction outside (0,1]"};
+  }
+  if (obs::ObsContext* obs = sim_.obs()) {
+    ctr_stalls_ = &obs->metrics().counter("player.stalls");
+    ctr_interrupts_ = &obs->metrics().counter("player.interrupts");
   }
   clock_.start();
 }
@@ -47,6 +53,10 @@ void Player::interrupt() {
   clock_.stop();
   stats_.interrupted = true;
   stats_.interrupted_at_s = sim_.now().to_seconds();
+  if (ctr_interrupts_ != nullptr) ctr_interrupts_->inc();
+  if (obs::ObsContext* obs = sim_.obs(); obs != nullptr && obs->trace().active()) {
+    obs->trace().emit(obs::PlayerInterrupt{sim_.now().to_seconds(), stats_.watched_s});
+  }
   if (on_interrupt_) on_interrupt_();
 }
 
@@ -67,6 +77,10 @@ void Player::tick() {
   if (have == 0 && stats_.watched_s < config_.duration_s) {
     // Stall: buffer ran dry mid-playback.
     ++stats_.stall_count;
+    if (ctr_stalls_ != nullptr) ctr_stalls_->inc();
+    if (obs::ObsContext* obs = sim_.obs(); obs != nullptr && obs->trace().active()) {
+      obs->trace().emit(obs::PlayerStall{sim_.now().to_seconds(), stats_.stall_count});
+    }
     playing_ = false;  // re-enter via the startup threshold
     return;
   }

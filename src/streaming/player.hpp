@@ -15,6 +15,10 @@
 #include "sim/periodic_timer.hpp"
 #include "sim/simulator.hpp"
 
+namespace vstream::obs {
+class Counter;
+}
+
 namespace vstream::streaming {
 
 struct PlayerConfig {
@@ -82,6 +86,8 @@ class Player {
   PlayerStats stats_;
   bool playing_{false};
   bool done_{false};
+  obs::Counter* ctr_stalls_{nullptr};
+  obs::Counter* ctr_interrupts_{nullptr};
   std::function<void()> on_interrupt_;
   std::function<void()> on_finished_;
 };

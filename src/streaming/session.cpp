@@ -7,6 +7,7 @@
 #include "capture/recorder.hpp"
 #include "http/exchange.hpp"
 #include "net/path.hpp"
+#include "obs/context.hpp"
 #include "streaming/auxiliary.hpp"
 #include "streaming/clients.hpp"
 #include "streaming/fetch.hpp"
@@ -75,6 +76,7 @@ net::NetworkProfile jittered(const SessionConfig& cfg, sim::Rng& rng) {
 struct World {
   explicit World(const SessionConfig& cfg)
       : rng{cfg.seed},
+        obs_wired{(sim.set_obs(&obs), true)},
         path{sim, jittered(cfg, rng), rng},
         fabric{sim, path},
         recorder{sim, path} {
@@ -83,6 +85,11 @@ struct World {
 
   sim::Simulator sim;
   sim::Rng rng;
+  // The context must be attached to the simulator before any instrumented
+  // component (links, endpoints, players) constructs — they cache registry
+  // pointers in their constructors.
+  obs::ObsContext obs;
+  bool obs_wired;
   net::Path path;
   tcp::Fabric fabric;
   capture::TraceRecorder recorder;
@@ -116,6 +123,9 @@ SessionResult run_session(const SessionConfig& cfg) {
   }
 
   World w{cfg};
+  if (cfg.trace_sink != nullptr) w.obs.trace().attach(cfg.trace_sink);
+  obs::SimLoopMonitor loop_monitor{w.sim, sim::Duration::seconds(1.0)};
+  loop_monitor.start();
   sim::Rng knob_rng = w.rng.fork("session-knobs");
   PlayerCell cell;
 
@@ -254,6 +264,7 @@ SessionResult run_session(const SessionConfig& cfg) {
 
   w.sim.run_until(sim::SimTime::from_seconds(cfg.capture_duration_s));
 
+  loop_monitor.stop();
   if (auxiliary) auxiliary->stop();
 
   // Assemble the result the way the paper's pipeline would see it: the full
@@ -282,6 +293,10 @@ SessionResult run_session(const SessionConfig& cfg) {
   if (ipad) result.bytes_downloaded = ipad->bytes_fetched();
   if (netflix) result.bytes_downloaded = netflix->bytes_fetched();
   result.connections = result.trace.connection_count();
+  result.metrics = w.obs.metrics().snapshot();
+  result.sim_events = w.sim.events_processed();
+  result.sim_max_events_pending = w.sim.max_events_pending();
+  if (cfg.trace_sink != nullptr) w.obs.trace().detach(cfg.trace_sink);
   return result;
 }
 

@@ -15,8 +15,13 @@
 
 #include "capture/trace.hpp"
 #include "net/profile.hpp"
+#include "obs/metrics.hpp"
 #include "streaming/player.hpp"
 #include "video/metadata.hpp"
+
+namespace vstream::obs {
+class TraceSink;
+}
 
 namespace vstream::streaming {
 
@@ -63,6 +68,10 @@ struct SessionConfig {
   /// The analysis then has to filter to the video connections, as the
   /// paper's methodology did (§2).
   bool auxiliary_traffic{true};
+  /// Optional trace sink attached to the session's ObsContext for the whole
+  /// run (typed probe events: cwnd samples, paced blocks, stalls, ...).
+  /// Non-owning; must outlive run_session.
+  obs::TraceSink* trace_sink{nullptr};
 };
 
 struct SessionResult {
@@ -77,6 +86,10 @@ struct SessionResult {
   double encoding_bps_true{0.0};       ///< ground truth (or selected Netflix rate)
   double encoding_bps_estimated{0.0};  ///< what the paper's pipeline would infer
   double interrupted_at_s{0.0};        ///< 0 when not interrupted
+  /// Snapshot of the session's metrics registry at the end of the run.
+  obs::MetricsSnapshot metrics;
+  std::uint64_t sim_events{0};            ///< discrete events the simulator ran
+  std::size_t sim_max_events_pending{0};  ///< event-queue high-water mark
 };
 
 [[nodiscard]] SessionResult run_session(const SessionConfig& config);

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/context.hpp"
+#include "tcp/endpoint.hpp"
+
 namespace vstream::streaming {
 
 VideoStreamServer::VideoStreamServer(sim::Simulator& sim, tcp::Endpoint& endpoint,
                                      video::VideoMeta video, ServerPacing pacing)
-    : sim_{sim}, video_{std::move(video)}, pacing_{pacing} {
+    : sim_{sim}, conn_id_{endpoint.connection_id()}, video_{std::move(video)}, pacing_{pacing} {
   http_ = std::make_unique<http::HttpServer>(
       endpoint, [this](const http::HttpRequest& req, const http::HttpServer::MakeResponder& make) {
         handle(req, make);
@@ -15,6 +18,27 @@ VideoStreamServer::VideoStreamServer(sim::Simulator& sim, tcp::Endpoint& endpoin
 
 void VideoStreamServer::stop() {
   for (auto& p : pacers_) p->stop();
+}
+
+void VideoStreamServer::probe_block(std::uint64_t bytes, bool initial_burst) {
+  obs::ObsContext* obs = sim_.obs();
+  if (obs == nullptr) return;
+  obs->metrics().counter(initial_burst ? "server.initial_bursts" : "server.paced_blocks").inc();
+  if (!initial_burst) {
+    obs->metrics()
+        .histogram("server.block_bytes",
+                   {16.0 * 1024, 64.0 * 1024, 256.0 * 1024, 1024.0 * 1024, 2.5 * 1024 * 1024,
+                    8.0 * 1024 * 1024})
+        .observe(static_cast<double>(bytes));
+  }
+  if (obs->trace().active()) {
+    obs::PacingBlockEmitted e;
+    e.t_s = sim_.now().to_seconds();
+    e.connection_id = conn_id_;
+    e.bytes = bytes;
+    e.initial_burst = initial_burst;
+    obs->trace().emit(e);
+  }
 }
 
 void VideoStreamServer::handle(const http::HttpRequest& request,
@@ -56,6 +80,7 @@ void VideoStreamServer::handle(const http::HttpRequest& request,
   const auto burst = static_cast<std::uint64_t>(pacing_.initial_burst_playback_s *
                                                 video_.encoding_bps / 8.0);
   responder->send_body(std::min(burst, body));
+  probe_block(std::min(burst, body), /*initial_burst=*/true);
   if (responder->body_remaining() == 0) return;
 
   const double steady_rate_bps = pacing_.accumulation_ratio * video_.encoding_bps;
@@ -64,6 +89,7 @@ void VideoStreamServer::handle(const http::HttpRequest& request,
   auto pacer = std::make_unique<sim::PeriodicTimer>(
       sim_, sim::Duration::seconds(cycle_s), [this, responder, self] {
         responder->send_body(pacing_.block_bytes);
+        probe_block(pacing_.block_bytes, /*initial_burst=*/false);
         if (responder->body_remaining() == 0 && *self != nullptr) (*self)->stop();
       });
   *self = pacer.get();

@@ -47,8 +47,10 @@ class VideoStreamServer {
 
  private:
   void handle(const http::HttpRequest& request, const http::HttpServer::MakeResponder& make);
+  void probe_block(std::uint64_t bytes, bool initial_burst);
 
   sim::Simulator& sim_;
+  std::uint64_t conn_id_{0};
   video::VideoMeta video_;
   ServerPacing pacing_;
   std::unique_ptr<http::HttpServer> http_;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/context.hpp"
+
 namespace vstream::tcp {
 
 using net::TcpFlag;
@@ -45,6 +47,63 @@ Endpoint::Endpoint(sim::Simulator& sim, std::uint64_t connection_id, TcpOptions 
   cwnd_ = static_cast<std::uint64_t>(options_.initial_cwnd_segments) * options_.mss;
   ssthresh_ = std::numeric_limits<std::uint64_t>::max() / 4;
   last_advertised_wnd_ = options_.recv_buffer_bytes;
+
+  // Cache registry instruments once; the hot paths then pay one null check.
+  if (obs::ObsContext* obs = sim_.obs()) {
+    auto& reg = obs->metrics();
+    ctr_segments_sent_ = &reg.counter("tcp.segments_sent");
+    ctr_segments_retransmitted_ = &reg.counter("tcp.segments_retransmitted");
+    ctr_bytes_retransmitted_ = &reg.counter("tcp.bytes_retransmitted");
+    ctr_timeouts_ = &reg.counter("tcp.timeouts");
+    ctr_fast_retransmits_ = &reg.counter("tcp.fast_retransmits");
+    ctr_zero_window_episodes_ = &reg.counter("tcp.zero_window_episodes");
+  }
+}
+
+// ---------------------------------------------------------------- probes
+
+void Endpoint::probe_cwnd() {
+  obs::ObsContext* obs = sim_.obs();
+  if (obs == nullptr || !obs->trace().active()) return;
+  obs::TcpCwndSample s;
+  s.t_s = sim_.now().to_seconds();
+  s.connection_id = connection_id_;
+  s.endpoint = label_;
+  s.cwnd = cwnd_;
+  s.ssthresh = ssthresh_;
+  s.rwnd = peer_wnd_;
+  s.adv_wnd = last_advertised_wnd_;
+  s.rto_s = rto_.to_seconds();
+  s.bytes_in_flight = bytes_in_flight();
+  obs->trace().emit(s);
+}
+
+void Endpoint::note_advertised_window(std::uint64_t window_bytes) {
+  const bool was_zero = advertising_zero_window_;
+  last_advertised_wnd_ = window_bytes;
+  // Sample at our own window's zero-crossings too: the sender-side sample
+  // coincides with the captured segment, so a JSONL trace reconstructs the
+  // wire's rwnd-zero episodes even when the segment is still in flight at
+  // the capture cutoff.
+  if ((window_bytes == 0) != was_zero) probe_cwnd();
+  if (window_bytes == 0 && !advertising_zero_window_) {
+    advertising_zero_window_ = true;
+    zero_window_since_ = sim_.now();
+    ++stats_.zero_window_episodes;
+    if (ctr_zero_window_episodes_ != nullptr) ctr_zero_window_episodes_->inc();
+  } else if (window_bytes > 0 && advertising_zero_window_) {
+    advertising_zero_window_ = false;
+    const double duration_s = (sim_.now() - zero_window_since_).to_seconds();
+    stats_.zero_window_total_s += duration_s;
+    if (obs::ObsContext* obs = sim_.obs(); obs != nullptr && obs->trace().active()) {
+      obs::ZeroWindowEpisode e;
+      e.t_s = sim_.now().to_seconds();
+      e.connection_id = connection_id_;
+      e.endpoint = label_;
+      e.duration_s = duration_s;
+      obs->trace().emit(e);
+    }
+  }
 }
 
 void Endpoint::attach(net::Link& tx_link, std::shared_ptr<TagChannel> tx_tags,
@@ -85,6 +144,7 @@ void Endpoint::transmit(TcpSegment segment) {
   segment.host = options_.host_tag;
   segment.window_bytes = advertised_window();
   last_advertised_wnd_ = segment.window_bytes;
+  note_advertised_window(segment.window_bytes);
   if (!segment.has(TcpFlag::kSyn) || segment.has(TcpFlag::kAck)) {
     // Everything after the initial SYN carries a cumulative ACK.
     segment.flags = segment.flags | TcpFlag::kAck;
@@ -98,6 +158,7 @@ void Endpoint::transmit(TcpSegment segment) {
     }
   }
   ++stats_.segments_sent;
+  if (ctr_segments_sent_ != nullptr) ctr_segments_sent_->inc();
   // ACK bookkeeping: transmitting anything acknowledges received data.
   delack_timer_.cancel();
   segments_since_ack_ = 0;
@@ -173,6 +234,7 @@ void Endpoint::maybe_idle_restart() {
   if (last_transmit_at_ == sim::SimTime{}) return;
   if (sim_.now() - last_transmit_at_ > rto_) {
     cwnd_ = static_cast<std::uint64_t>(options_.initial_cwnd_segments) * options_.mss;
+    probe_cwnd();
   }
 }
 
@@ -220,6 +282,10 @@ void Endpoint::try_send() {
       if (repairing) {
         stats_.bytes_retransmitted += payload;
         ++stats_.segments_retransmitted;
+        if (ctr_segments_retransmitted_ != nullptr) {
+          ctr_segments_retransmitted_->inc();
+          ctr_bytes_retransmitted_->inc(payload);
+        }
       } else {
         stats_.bytes_sent += payload;
       }
@@ -271,7 +337,9 @@ void Endpoint::on_persist() {
   probe.window_bytes = advertised_window();
   probe.connection_id = connection_id_;
   probe.host = options_.host_tag;
+  note_advertised_window(probe.window_bytes);
   ++stats_.segments_sent;
+  if (ctr_segments_sent_ != nullptr) ctr_segments_sent_->inc();
   tx_link_->send(probe);
   persist_backoff_ = std::min(persist_backoff_ + persist_backoff_, options_.max_rto);
   arm_persist();
@@ -292,6 +360,7 @@ void Endpoint::on_rto() {
     return;  // nothing outstanding; stale timer
   }
   ++stats_.timeouts;
+  if (ctr_timeouts_ != nullptr) ctr_timeouts_->inc();
   const std::uint64_t flight = std::max<std::uint64_t>(bytes_in_flight(), options_.mss);
   ssthresh_ = std::max<std::uint64_t>(flight / 2, 2ULL * options_.mss);
   cwnd_ = options_.mss;  // RFC 5681 loss window
@@ -299,6 +368,7 @@ void Endpoint::on_rto() {
   dup_acks_ = 0;
   rexmit_high_ = 0;
   rto_ = std::min(rto_ + rto_, options_.max_rto);  // exponential backoff
+  probe_cwnd();
 
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
     retransmit_front();
@@ -374,6 +444,10 @@ bool Endpoint::retransmit_next_hole() {
     seg.payload_bytes = static_cast<std::uint32_t>(len);
     stats_.bytes_retransmitted += len;
     ++stats_.segments_retransmitted;
+    if (ctr_segments_retransmitted_ != nullptr) {
+      ctr_segments_retransmitted_->inc();
+      ctr_bytes_retransmitted_->inc(len);
+    }
     rexmit_high_ = hole + len;
     transmit(seg);
     return true;
@@ -382,6 +456,7 @@ bool Endpoint::retransmit_next_hole() {
     seg.seq = hole;
     seg.flags = TcpFlag::kFin;
     ++stats_.segments_retransmitted;
+    if (ctr_segments_retransmitted_ != nullptr) ctr_segments_retransmitted_->inc();
     rexmit_high_ = hole + 1;
     transmit(seg);
     return true;
@@ -415,12 +490,16 @@ void Endpoint::retransmit_front() {
 // ---------------------------------------------------------------- receive
 
 void Endpoint::note_peer_window(const TcpSegment& segment) {
+  const bool was_zero = peer_wnd_seen_ && peer_wnd_ == 0;
   peer_wnd_ = segment.window_bytes;
   peer_wnd_seen_ = true;
   if (peer_wnd_ > 0) {
     persist_timer_.cancel();
     persist_backoff_ = options_.persist_interval;
   }
+  // Sample on every rwnd zero-crossing so a cwnd trace reconstructs the
+  // receiver's starvation episodes exactly (Fig 2b / 6a signal).
+  if ((peer_wnd_ == 0) != was_zero) probe_cwnd();
 }
 
 void Endpoint::on_segment(const TcpSegment& segment) {
@@ -553,6 +632,7 @@ void Endpoint::on_new_ack(std::uint64_t acked_bytes, std::uint64_t ack) {
       cwnd_ += options_.mss;
       arm_rto();
     }
+    probe_cwnd();
     return;
   }
 
@@ -566,6 +646,7 @@ void Endpoint::on_new_ack(std::uint64_t acked_bytes, std::uint64_t ack) {
         std::max<std::uint64_t>(1, static_cast<std::uint64_t>(options_.mss) * options_.mss / cwnd_);
     cwnd_ += inc;  // congestion avoidance, ~1 MSS per RTT
   }
+  probe_cwnd();
 }
 
 void Endpoint::enter_fast_recovery() {
@@ -575,6 +656,8 @@ void Endpoint::enter_fast_recovery() {
   recover_ = snd_nxt_;
   in_fast_recovery_ = true;
   ++stats_.fast_retransmits;
+  if (ctr_fast_retransmits_ != nullptr) ctr_fast_retransmits_->inc();
+  probe_cwnd();
   rexmit_high_ = 0;
   (void)retransmit_next_hole();
   arm_rto();

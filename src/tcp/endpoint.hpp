@@ -26,6 +26,10 @@
 #include "tcp/options.hpp"
 #include "tcp/tag_channel.hpp"
 
+namespace vstream::obs {
+class Counter;
+}
+
 namespace vstream::tcp {
 
 enum class TcpState : std::uint8_t {
@@ -146,6 +150,13 @@ class Endpoint {
   void enter_fast_recovery();
   void sample_rtt(std::uint64_t ack);
 
+  // -- observability --
+  /// Emit a `TcpCwndSample` on the world's trace bus (no-op when no sink).
+  void probe_cwnd();
+  /// Track zero-window advertisement episodes from the window value a
+  /// transmitted segment carries.
+  void note_advertised_window(std::uint64_t window_bytes);
+
   sim::Simulator& sim_;
   std::uint64_t connection_id_;
   TcpOptions options_;
@@ -213,6 +224,18 @@ class Endpoint {
   std::uint64_t last_advertised_wnd_{0};
 
   TcpStats stats_;
+
+  // Zero-window episode tracking (receive side, wire-visible transitions).
+  bool advertising_zero_window_{false};
+  sim::SimTime zero_window_since_{};
+
+  // Cached registry instruments; null when the world runs unobserved.
+  obs::Counter* ctr_segments_sent_{nullptr};
+  obs::Counter* ctr_segments_retransmitted_{nullptr};
+  obs::Counter* ctr_bytes_retransmitted_{nullptr};
+  obs::Counter* ctr_timeouts_{nullptr};
+  obs::Counter* ctr_fast_retransmits_{nullptr};
+  obs::Counter* ctr_zero_window_episodes_{nullptr};
 
   std::function<void()> on_established_;
   std::function<void()> on_readable_;

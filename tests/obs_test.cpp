@@ -1,0 +1,373 @@
+// Observability layer: metrics registry, trace bus/sinks, and the
+// consistency contracts between live instrumentation and the offline
+// trace analysis (zero-window episodes in particular).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/onoff.hpp"
+#include "analysis/report_json.hpp"
+#include "capture/recorder.hpp"
+#include "http/exchange.hpp"
+#include "net/path.hpp"
+#include "net/profile.hpp"
+#include "obs/context.hpp"
+#include "streaming/clients.hpp"
+#include "streaming/session.hpp"
+#include "streaming/video_server.hpp"
+#include "tcp/connection.hpp"
+
+namespace vstream::obs {
+namespace {
+
+using sim::SimTime;
+
+// ---- metrics registry ----------------------------------------------------
+
+TEST(ObsMetricsTest, CountersAndGauges) {
+  MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.counter("a").inc(4);
+  EXPECT_EQ(reg.counter("a").value(), 5u);
+
+  reg.gauge("g").set(2.5);
+  reg.gauge("g").set_max(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+  reg.gauge("g").set_max(7.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 7.0);
+}
+
+TEST(ObsMetricsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  FixedHistogram h{{10.0, 20.0}};
+  h.observe(10.0);  // lands in [.., 10]
+  h.observe(10.5);  // lands in (10, 20]
+  h.observe(20.0);  // lands in (10, 20] — bound itself is included
+  h.observe(20.1);  // overflow bucket
+  ASSERT_EQ(h.counts().size(), 3u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 10.5 + 20.0 + 20.1);
+}
+
+TEST(ObsMetricsTest, HistogramRejectsEmptyOrUnsortedBounds) {
+  EXPECT_THROW(FixedHistogram{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW((FixedHistogram{{5.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, SnapshotJsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("tcp.segments_sent").inc(1234);
+  reg.counter("net.drops_queue").inc(7);
+  reg.gauge("net.queue_high_water_bytes").set(65536.0);
+  auto& h = reg.histogram("server.block_bytes", {1024.0, 65536.0});
+  h.observe(800.0);
+  h.observe(65536.0);
+  h.observe(1e6);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot back = parse_snapshot(snap.to_json());
+
+  EXPECT_EQ(back.counters, snap.counters);
+  EXPECT_EQ(back.gauges, snap.gauges);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const auto& hb = back.histograms.at("server.block_bytes");
+  EXPECT_EQ(hb.bounds, snap.histograms.at("server.block_bytes").bounds);
+  EXPECT_EQ(hb.counts, snap.histograms.at("server.block_bytes").counts);
+  EXPECT_EQ(hb.count, 3u);
+  EXPECT_DOUBLE_EQ(hb.sum, 800.0 + 65536.0 + 1e6);
+}
+
+TEST(ObsMetricsTest, ParseSnapshotRejectsGarbage) {
+  EXPECT_THROW(parse_snapshot("not json"), std::runtime_error);
+  EXPECT_THROW(parse_snapshot("{\"counters\":[]}"), std::runtime_error);
+}
+
+TEST(ObsMetricsTest, MergeAddsCountersAndKeepsGaugeMaxima) {
+  MetricsRegistry a;
+  a.counter("c").inc(3);
+  a.gauge("g").set(10.0);
+  a.histogram("h", {1.0}).observe(0.5);
+  MetricsRegistry b;
+  b.counter("c").inc(4);
+  b.counter("only_b").inc(1);
+  b.gauge("g").set(2.0);
+  b.histogram("h", {1.0}).observe(5.0);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge_from(b.snapshot());
+  EXPECT_EQ(merged.counters.at("c"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 10.0);
+  EXPECT_EQ(merged.histograms.at("h").counts, (std::vector<std::uint64_t>{1, 1}));
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+}
+
+TEST(ObsMetricsTest, ReportJsonEmbedsSnapshot) {
+  analysis::SessionReport report;
+  report.label = "obs";
+  MetricsRegistry reg;
+  reg.counter("tcp.segments_retransmitted").inc(42);
+
+  const std::string with = analysis::to_json(report, reg.snapshot());
+  EXPECT_NE(with.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(with.find("\"tcp.segments_retransmitted\":42"), std::string::npos);
+  // An empty snapshot leaves the plain report unchanged.
+  EXPECT_EQ(analysis::to_json(report, MetricsSnapshot{}), analysis::to_json(report));
+}
+
+// ---- trace bus and sinks -------------------------------------------------
+
+TEST(ObsTraceTest, BusWithoutSinksIsInactiveAndEmitIsNoOp) {
+  TraceBus bus;
+  EXPECT_FALSE(bus.active());
+  bus.emit(PlayerStall{1.0, 1});
+  EXPECT_EQ(bus.events_emitted(), 0u);
+
+  RingBufferSink sink{4};
+  bus.attach(&sink);
+  EXPECT_TRUE(bus.active());
+  bus.emit(PlayerStall{2.0, 2});
+  EXPECT_EQ(bus.events_emitted(), 1u);
+  bus.detach(&sink);
+  EXPECT_FALSE(bus.active());
+}
+
+TEST(ObsTraceTest, RingBufferKeepsMostRecentEvents) {
+  TraceBus bus;
+  RingBufferSink sink{3};
+  bus.attach(&sink);
+  for (int i = 1; i <= 5; ++i) {
+    bus.emit(PlayerStall{static_cast<double>(i), static_cast<std::uint32_t>(i)});
+  }
+  EXPECT_EQ(sink.total_seen(), 5u);
+  ASSERT_EQ(sink.events().size(), 3u);
+  const auto stalls = sink.collect<PlayerStall>();
+  ASSERT_EQ(stalls.size(), 3u);
+  EXPECT_EQ(stalls.front().stall_count, 3u);
+  EXPECT_EQ(stalls.back().stall_count, 5u);
+}
+
+TEST(ObsTraceTest, JsonlSinkLinesParseBackFieldByField) {
+  const std::string path = ::testing::TempDir() + "obs_jsonl_sink_test.jsonl";
+  {
+    TraceBus bus;
+    JsonlFileSink sink{path};
+    ASSERT_TRUE(sink.ok());
+    bus.attach(&sink);
+
+    TcpCwndSample cwnd;
+    cwnd.t_s = 1.25;
+    cwnd.connection_id = 7;
+    cwnd.endpoint = "server#7";
+    cwnd.cwnd = 14600;
+    cwnd.ssthresh = 65535;
+    cwnd.rwnd = 0;
+    cwnd.rto_s = 0.2;
+    cwnd.bytes_in_flight = 2920;
+    bus.emit(cwnd);
+    bus.emit(PacingBlockEmitted{2.0, 7, 65536, false});
+    bus.emit(ZeroWindowEpisode{3.5, 7, "client#7", 0.75});
+    EXPECT_EQ(sink.lines_written(), 3u);
+  }
+
+  std::ifstream in{path};
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+
+  EXPECT_EQ(jsonl_string(lines[0], "type"), "tcp_cwnd");
+  EXPECT_EQ(jsonl_string(lines[0], "endpoint"), "server#7");
+  EXPECT_EQ(jsonl_number(lines[0], "t"), 1.25);
+  EXPECT_EQ(jsonl_number(lines[0], "conn"), 7.0);
+  EXPECT_EQ(jsonl_number(lines[0], "cwnd"), 14600.0);
+  EXPECT_EQ(jsonl_number(lines[0], "rwnd"), 0.0);
+  EXPECT_EQ(jsonl_number(lines[0], "in_flight"), 2920.0);
+
+  EXPECT_EQ(jsonl_string(lines[1], "type"), "pacing_block");
+  EXPECT_EQ(jsonl_number(lines[1], "bytes"), 65536.0);
+
+  EXPECT_EQ(jsonl_string(lines[2], "type"), "zero_window");
+  EXPECT_EQ(jsonl_number(lines[2], "duration_s"), 0.75);
+  EXPECT_EQ(jsonl_number(lines[2], "missing_key"), std::nullopt);
+  std::remove(path.c_str());
+}
+
+// ---- live instrumentation vs. offline analysis ---------------------------
+
+// A small observed world: research network with loss disabled, one TCP
+// connection, bulk server, pull-throttling client (the IE read policy that
+// produces the rwnd-zero signature of Fig 2b).
+struct ObservedWire {
+  ObservedWire() : rng{3} {
+    sim.set_obs(&obs);
+    auto profile = net::profile_for(net::Vantage::kResearch);
+    profile.loss_rate = 0.0;
+    path = std::make_unique<net::Path>(sim, profile, rng);
+    fabric = std::make_unique<tcp::Fabric>(sim, *path);
+    recorder = std::make_unique<capture::TraceRecorder>(sim, *path);
+    recorder->start();
+  }
+
+  sim::Simulator sim;
+  obs::ObsContext obs;
+  sim::Rng rng;
+  std::unique_ptr<net::Path> path;
+  std::unique_ptr<tcp::Fabric> fabric;
+  std::unique_ptr<capture::TraceRecorder> recorder;
+};
+
+video::VideoMeta throttle_video() {
+  video::VideoMeta v;
+  v.id = "obs";
+  v.duration_s = 600.0;
+  v.encoding_bps = 2e6;
+  v.container = video::Container::kHtml5;
+  return v;
+}
+
+streaming::PullThrottleClient::Config ie_throttle() {
+  streaming::PullThrottleClient::Config cfg;
+  cfg.buffering_target_bytes = 4 * 1024 * 1024;
+  cfg.pull_quantum_bytes = 256 * 1024;
+  cfg.accumulation_ratio = 1.06;
+  cfg.encoding_bps = 2e6;
+  return cfg;
+}
+
+TEST(ObsIntegrationTest, TcpStatsZeroWindowEpisodesMatchTraceAnalysis) {
+  ObservedWire w;
+  tcp::TcpOptions client_tcp;
+  client_tcp.recv_buffer_bytes = 256 * 1024;
+  auto& conn = w.fabric->create_connection(client_tcp, {});
+  streaming::VideoStreamServer server{w.sim, conn.server(), throttle_video(),
+                                      streaming::ServerPacing::bulk()};
+  streaming::PullThrottleClient client{w.sim, conn.client(), ie_throttle(), {}};
+  conn.client().set_on_established([&] {
+    http::HttpClient http{conn.client()};
+    http.send_request(http::make_video_request("obs"));
+  });
+  conn.open();
+  w.sim.run_until(SimTime::from_seconds(120.0));
+
+  const auto trace = w.recorder->take();
+  const std::size_t from_trace = analysis::count_zero_window_episodes(trace);
+  const auto& stats = conn.client().stats();
+
+  // The throttling client must actually have closed its window.
+  ASSERT_GT(from_trace, 0u);
+  // Endpoint-side live stats, registry counter and offline trace analysis
+  // all agree on a loss-free path (every transmitted segment is captured).
+  EXPECT_EQ(stats.zero_window_episodes, from_trace);
+  EXPECT_EQ(w.obs.metrics().counter("tcp.zero_window_episodes").value(), from_trace);
+  EXPECT_GT(stats.zero_window_total_s, 0.0);
+}
+
+TEST(ObsIntegrationTest, NoSinkProbesStillMaintainCounters) {
+  ObservedWire w;  // obs attached, but no trace sink
+  auto& conn = w.fabric->create_connection({}, {});
+  streaming::VideoStreamServer server{w.sim, conn.server(), throttle_video(),
+                                      streaming::ServerPacing::bulk()};
+  streaming::GreedyClient client{conn.client(), {}};
+  conn.client().set_on_established([&] {
+    http::HttpClient http{conn.client()};
+    http.send_request(http::make_video_request("obs"));
+  });
+  conn.open();
+  w.sim.run_until(SimTime::from_seconds(20.0));
+
+  EXPECT_GT(client.bytes_read(), 0u);
+  EXPECT_GT(w.obs.metrics().counter("tcp.segments_sent").value(), 0u);
+  EXPECT_GT(w.obs.metrics().counter("net.segments_delivered").value(), 0u);
+  // No sink was ever attached: the bus never dispatched a single event.
+  EXPECT_FALSE(w.obs.trace().active());
+  EXPECT_EQ(w.obs.trace().events_emitted(), 0u);
+}
+
+// ---- acceptance: JSONL cwnd trace reconstructs the rwnd signal -----------
+
+TEST(ObsIntegrationTest, CwndJsonlTraceReconstructsZeroWindowEpisodes) {
+  const std::string path = ::testing::TempDir() + "obs_cwnd_roundtrip.jsonl";
+  streaming::SessionConfig cfg;
+  cfg.service = streaming::Service::kYouTube;
+  cfg.container = video::Container::kHtml5;
+  cfg.application = streaming::Application::kInternetExplorer;
+  cfg.network = net::profile_for(net::Vantage::kResearch);
+  cfg.network.loss_rate = 0.0;  // lossless: wire order == receive order
+  cfg.bandwidth_jitter = 0.0;
+  cfg.auxiliary_traffic = false;
+  cfg.video.id = "rt";
+  cfg.video.duration_s = 600.0;
+  cfg.video.encoding_bps = 2e6;
+  cfg.video.container = video::Container::kHtml5;
+  cfg.capture_duration_s = 120.0;
+  cfg.seed = 17;
+
+  std::size_t expected = 0;
+  {
+    JsonlFileSink sink{path};
+    cfg.trace_sink = &sink;
+    const auto result = streaming::run_session(cfg);
+    expected = analysis::count_zero_window_episodes(result.trace);
+    ASSERT_GT(expected, 0u) << "IE pull throttling should close the window";
+    EXPECT_EQ(result.metrics.counters.at("tcp.zero_window_episodes"), expected);
+    EXPECT_GT(result.sim_events, 0u);
+    EXPECT_GT(result.sim_max_events_pending, 0u);
+  }
+
+  // Replay the JSONL trace two ways.
+  //  - Client-side samples carry the client's own advertised window
+  //    (`adv_wnd`) and are emitted at transmit time, exactly when the
+  //    captured segment leaves: the reconstruction is exact.
+  //  - Server-side samples carry the peer's window (`rwnd`) as received:
+  //    identical except for a final segment still in flight at the
+  //    capture cutoff, so it may lag by at most one episode.
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::size_t from_client = 0;
+  std::size_t from_server = 0;
+  bool client_at_zero = false;
+  bool server_at_zero = false;
+  bool saw_sample = false;
+  for (std::string line; std::getline(in, line);) {
+    if (jsonl_string(line, "type") != "tcp_cwnd") continue;
+    const auto endpoint = jsonl_string(line, "endpoint");
+    ASSERT_TRUE(endpoint.has_value());
+    saw_sample = true;
+    if (endpoint->rfind("client#", 0) == 0) {
+      const auto adv = jsonl_number(line, "adv_wnd");
+      ASSERT_TRUE(adv.has_value());
+      if (*adv == 0.0) {
+        if (!client_at_zero) {
+          ++from_client;
+          client_at_zero = true;
+        }
+      } else {
+        client_at_zero = false;
+      }
+    } else if (endpoint->rfind("server#", 0) == 0) {
+      const auto rwnd = jsonl_number(line, "rwnd");
+      ASSERT_TRUE(rwnd.has_value());
+      if (*rwnd == 0.0) {
+        if (!server_at_zero) {
+          ++from_server;
+          server_at_zero = true;
+        }
+      } else {
+        server_at_zero = false;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_sample);
+  EXPECT_EQ(from_client, expected);
+  EXPECT_GE(from_server + 1, expected);
+  EXPECT_LE(from_server, expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vstream::obs

@@ -103,6 +103,24 @@ TEST(SimulatorTest, CancelledEventDoesNotFire) {
   EXPECT_FALSE(fired);
 }
 
+TEST(SimulatorTest, MaxEventsPendingTracksQueueHighWater) {
+  Simulator sim;
+  EXPECT_EQ(sim.max_events_pending(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime::from_seconds(1.0 + i), [] {});
+  }
+  EXPECT_EQ(sim.events_pending(), 5u);
+  EXPECT_EQ(sim.max_events_pending(), 5u);
+  sim.run();
+  // Draining the queue does not lower the high-water mark...
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.max_events_pending(), 5u);
+  // ...and a shallower refill does not raise it.
+  sim.schedule_after(Duration::seconds(1.0), [] {});
+  sim.run();
+  EXPECT_EQ(sim.max_events_pending(), 5u);
+}
+
 TEST(SimulatorTest, PastScheduleClampsToNow) {
   Simulator sim;
   sim.schedule_at(SimTime::from_seconds(5.0), [&] {
