@@ -3,7 +3,11 @@
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <stdexcept>
+#include <utility>
+
+#include "tcp/seqspace.hpp"
 
 namespace vstream::capture {
 namespace {
@@ -122,8 +126,8 @@ void write_pcap(const PacketTrace& trace, const std::string& path) {
     std::uint8_t* tcp = frame.data() + kEthernetBytes + kIpv4Bytes;
     put_u16be(tcp + 0, down ? kServerPort : client_port);
     put_u16be(tcp + 2, down ? client_port : kServerPort);
-    put_u32be(tcp + 4, static_cast<std::uint32_t>(p.seq));
-    put_u32be(tcp + 8, static_cast<std::uint32_t>(p.ack));
+    put_u32be(tcp + 4, tcp::to_wire(p.seq));
+    put_u32be(tcp + 8, tcp::to_wire(p.ack));
     tcp[12] = 5U << 4U;  // data offset 5 words
     tcp[13] = tcp_flag_bits(p.flags);
     const std::uint64_t scaled = p.window_bytes >> kPcapWindowShift;
@@ -159,6 +163,18 @@ PacketTrace read_pcap(const std::string& path) {
   }
 
   PacketTrace trace;
+  // Wire sequence numbers are 32-bit and wrap every 4 GiB per direction;
+  // unwrap them back to 64-bit absolute offsets against the highest value
+  // seen so far on each (connection, direction) stream. ACKs acknowledge
+  // the opposite direction's sequence space.
+  std::map<std::pair<std::uint64_t, int>, std::uint64_t> seq_reference;
+  const auto unwrap = [&seq_reference](std::uint64_t conn, int dir, std::uint32_t wire) {
+    const auto [it, fresh] = seq_reference.try_emplace({conn, dir}, wire);
+    if (fresh) return static_cast<std::uint64_t>(wire);
+    const std::uint64_t absolute = tcp::from_wire(wire, it->second);
+    it->second = std::max(it->second, absolute);
+    return absolute;
+  };
   while (true) {
     std::uint32_t ts_sec{};
     std::uint32_t ts_usec{};
@@ -194,8 +210,9 @@ PacketTrace read_pcap(const std::string& path) {
     const std::uint16_t dst_port = get_u16be(tcp + 2);
     const std::uint16_t client_port = (r.direction == net::Direction::kDown) ? dst_port : src_port;
     r.connection_id = client_port >= kClientPortBase ? client_port - kClientPortBase : 0;
-    r.seq = get_u32be(tcp + 4);
-    r.ack = get_u32be(tcp + 8);
+    const int dir_index = r.direction == net::Direction::kDown ? 0 : 1;
+    r.seq = unwrap(r.connection_id, dir_index, get_u32be(tcp + 4));
+    r.ack = unwrap(r.connection_id, 1 - dir_index, get_u32be(tcp + 8));
     r.flags = tcp_flags_from_bits(tcp[13]);
     r.window_bytes = static_cast<std::uint64_t>(get_u16be(tcp + 14)) << kPcapWindowShift;
     r.is_retransmission = get_u16be(ip + 4) == 1;

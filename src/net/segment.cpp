@@ -9,7 +9,9 @@ std::string TcpSegment::flag_string() const {
   if (has(TcpFlag::kRst)) s += 'R';
   if (has(TcpFlag::kPsh)) s += 'P';
   if (has(TcpFlag::kAck)) s += 'A';
-  if (s.empty()) s = "-";
+  // Assign a char (not a literal): GCC 12's -Wrestrict false-fires on
+  // assigning a string literal right after in-place appends.
+  if (s.empty()) s = '-';
   return s;
 }
 

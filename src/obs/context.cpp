@@ -1,5 +1,9 @@
 #include "obs/context.hpp"
 
+// vstream-lint-file: allow(wall-clock): the loop monitor's whole job is to
+// compare simulated time against host wall time (sim.sim_wall_ratio); no
+// simulation decision ever depends on these reads.
+
 namespace vstream::obs {
 
 SimLoopMonitor::SimLoopMonitor(sim::Simulator& sim, sim::Duration period)

@@ -48,7 +48,7 @@ class SimLoopMonitor {
 
   sim::Simulator& sim_;
   sim::PeriodicTimer timer_;
-  std::chrono::steady_clock::time_point last_wall_;
+  std::chrono::steady_clock::time_point last_wall_;  // vstream-lint: allow(wall-clock): sim-vs-wall speed telemetry only
   sim::SimTime last_sim_{};
   std::uint64_t samples_{0};
 };

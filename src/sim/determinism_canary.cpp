@@ -1,0 +1,49 @@
+#include "sim/determinism_canary.hpp"
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "check/digest.hpp"
+#include "sim/simulator.hpp"
+
+namespace vstream::sim {
+
+namespace {
+
+/// splitmix64 finalizer: a decent avalanche so the nonce genuinely
+/// reshuffles bucket assignment, the way a per-process hash seed would.
+struct NoncedHash {
+  std::uint64_t nonce{0};
+  std::size_t operator()(std::uint64_t key) const {
+    std::uint64_t z = key ^ nonce;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31U));
+  }
+};
+
+}  // namespace
+
+std::uint64_t determinism_canary_digest(std::uint64_t hash_nonce) {
+  Simulator sim;
+  check::StateDigest digest;
+  sim.set_digest(&digest);
+
+  // The bug under test: scheduling while iterating an unordered container.
+  // Every entry lands at a distinct timestamp, so the *dispatch* order is
+  // fixed — but the FIFO sequence numbers (assigned in iteration order)
+  // leak the container's layout into the digest, as they would leak into
+  // any tie-broken schedule in a real component.
+  std::unordered_map<std::uint64_t, int, NoncedHash> table{16, NoncedHash{hash_nonce}};
+  for (std::uint64_t key = 0; key < 64; ++key) table.emplace(key, 0);
+  for (auto& [key, hits] : table) {
+    sim.schedule_at(SimTime::from_nanos(static_cast<std::int64_t>(key) * 1000), [&hits] {
+      ++hits;
+    });
+  }
+  sim.run();
+  return digest.value();
+}
+
+}  // namespace vstream::sim

@@ -1,0 +1,23 @@
+// A deliberately nondeterministic mini-workload for the determinism audit.
+//
+// Real nondeterminism enters a simulation when event scheduling is driven
+// by iterating an unordered container whose order depends on address
+// layout or a per-process hash seed — identical logic, different event
+// interleavings, corrupted figures, and no sanitizer complains. The canary
+// reproduces that failure mode on demand: it schedules one event per entry
+// of an `std::unordered_map` whose hash is perturbed by `hash_nonce`
+// (standing in for ASLR / per-process hash seeding), and digests the run.
+// Twin calls with the same nonce must agree; different nonces must diverge
+// — which is exactly what the audit asserts to prove it can catch the real
+// thing.
+#pragma once
+
+#include <cstdint>
+
+namespace vstream::sim {
+
+/// Run the canary workload and return its state digest. Deterministic in
+/// `hash_nonce`; distinct nonces yield distinct event orders (and digests).
+[[nodiscard]] std::uint64_t determinism_canary_digest(std::uint64_t hash_nonce);
+
+}  // namespace vstream::sim

@@ -4,14 +4,19 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/contracts.hpp"
+#include "check/digest.hpp"
+
 namespace vstream::sim {
 
 EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
-  if (at < now_) at = now_;
+  VSTREAM_PRECONDITION(at >= now_, "no event may be scheduled in the past");
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
   max_events_pending_ = std::max(max_events_pending_, queue_.size());
+  VSTREAM_POSTCONDITION(queue_.size() <= max_events_pending_,
+                        "queue-depth high-water mark must cover the live queue");
   return EventHandle{cancelled};
 }
 
@@ -25,8 +30,15 @@ bool Simulator::step() {
     Event ev = queue_.top();
     queue_.pop();
     if (*ev.cancelled) continue;
+    VSTREAM_INVARIANT(ev.at >= now_, "simulation clock must be monotonic");
     now_ = ev.at;
     ++events_processed_;
+    if (digest_ != nullptr) {
+      // Event order is the determinism signal: timestamp + FIFO sequence
+      // uniquely identify the dispatch in a correct run.
+      digest_->mix_signed(ev.at.count_nanos());
+      digest_->mix(ev.seq);
+    }
     ev.fn();
     return true;
   }
@@ -45,6 +57,7 @@ std::uint64_t Simulator::run_until(SimTime limit) {
     if (step()) ++n;
   }
   if (now_ < limit) now_ = limit;
+  VSTREAM_POSTCONDITION(now_ >= limit, "run_until must leave the clock at or past the limit");
   return n;
 }
 

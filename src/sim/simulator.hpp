@@ -14,6 +14,10 @@
 
 #include "sim/time.hpp"
 
+namespace vstream::check {
+class StateDigest;
+}
+
 namespace vstream::obs {
 class ObsContext;
 }
@@ -51,7 +55,8 @@ class Simulator {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `fn` to run at absolute time `at` (>= now).
+  /// Schedule `fn` to run at absolute time `at`. Scheduling into the past
+  /// is a contract violation (use schedule_after for clamping semantics).
   EventHandle schedule_at(SimTime at, std::function<void()> fn);
 
   /// Schedule `fn` to run `delay` from now. Negative delays clamp to now.
@@ -79,6 +84,14 @@ class Simulator {
   void set_obs(obs::ObsContext* obs) { obs_ = obs; }
   [[nodiscard]] obs::ObsContext* obs() const { return obs_; }
 
+  /// Attach (or clear, with nullptr) a determinism-audit digest. When set,
+  /// every dispatched event mixes its (timestamp, FIFO sequence) pair into
+  /// the digest, and instrumented components fold in state snapshots, so
+  /// twin same-seed runs must agree bit-for-bit. Costs one branch per event
+  /// when detached.
+  void set_digest(check::StateDigest* digest) { digest_ = digest; }
+  [[nodiscard]] check::StateDigest* digest() const { return digest_; }
+
  private:
   struct Event {
     SimTime at;
@@ -99,6 +112,7 @@ class Simulator {
   std::uint64_t events_processed_{0};
   std::size_t max_events_pending_{0};
   obs::ObsContext* obs_{nullptr};
+  check::StateDigest* digest_{nullptr};
 };
 
 }  // namespace vstream::sim

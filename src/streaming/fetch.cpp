@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace vstream::streaming {
 
 FetchManager::FetchManager(sim::Simulator& sim, tcp::Fabric& fabric, video::VideoMeta video,
@@ -107,6 +109,10 @@ void FetchManager::on_readable(Fetch& fetch) {
     body_bytes_ += delta;
     if (fetch.sink) fetch.sink(delta);
   }
+  // Requests on a shared connection are serialized, so the bytes attributed
+  // to this fetch can never exceed the range it asked for.
+  VSTREAM_INVARIANT(fetch.body_delivered <= fetch.expected_body,
+                    "fetch accounting attributed more body bytes than the requested range");
   if (fetch.body_delivered >= fetch.expected_body) {
     fetch.done = true;
     // Persistent mode: move on to the queued successor.

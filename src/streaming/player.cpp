@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "obs/context.hpp"
 
 namespace vstream::streaming {
@@ -88,6 +89,12 @@ void Player::tick() {
   const std::uint64_t eat = std::min(want_bytes, have);
   stats_.consumed_bytes += eat;
   stats_.watched_s += static_cast<double>(eat) * 8.0 / config_.encoding_bps;
+  // The playback buffer is downloaded - consumed; consuming more than was
+  // downloaded would make it (conceptually) negative.
+  VSTREAM_INVARIANT(stats_.consumed_bytes <= stats_.downloaded_bytes,
+                    "player consumed bytes it never downloaded — buffer went negative");
+  VSTREAM_INVARIANT(stats_.watched_s <= config_.duration_s + config_.tick.to_seconds(),
+                    "player watched past the end of the video");
 
   if (config_.watch_fraction.has_value() &&
       stats_.watched_s >= *config_.watch_fraction * config_.duration_s) {

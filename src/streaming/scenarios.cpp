@@ -1,0 +1,110 @@
+#include "streaming/scenarios.hpp"
+
+#include "check/digest.hpp"
+
+namespace vstream::streaming {
+
+namespace {
+
+SessionConfig base_config(Service service, video::Container container, Application application,
+                          net::Vantage vantage, double capture_duration_s) {
+  SessionConfig cfg;
+  cfg.service = service;
+  cfg.container = container;
+  cfg.application = application;
+  cfg.network = net::profile_for(vantage);
+  cfg.video.id = "scenario";
+  cfg.video.duration_s = 300.0;
+  cfg.video.encoding_bps = 1e6;
+  cfg.video.resolution = video::Resolution::k360p;
+  cfg.video.container = container;
+  cfg.capture_duration_s = capture_duration_s;
+  cfg.seed = 20110'607;  // fixed catalog seed (CoNEXT 2011 submission season)
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<NamedScenario> canonical_scenarios(double capture_duration_s) {
+  using video::Container;
+  std::vector<NamedScenario> out;
+  const auto add = [&](std::string name, SessionConfig cfg) {
+    out.push_back(NamedScenario{std::move(name), std::move(cfg)});
+  };
+
+  // YouTube, every PC/mobile application the paper measured (Table 1).
+  add("youtube-flash-ie-research",
+      base_config(Service::kYouTube, Container::kFlash, Application::kInternetExplorer,
+                  net::Vantage::kResearch, capture_duration_s));
+  add("youtube-flash-firefox-residence",
+      base_config(Service::kYouTube, Container::kFlash, Application::kFirefox,
+                  net::Vantage::kResidence, capture_duration_s));
+  add("youtube-flashhd-chrome-academic",
+      base_config(Service::kYouTube, Container::kFlashHd, Application::kChrome,
+                  net::Vantage::kAcademic, capture_duration_s));
+  add("youtube-html5-ie-home",
+      base_config(Service::kYouTube, Container::kHtml5, Application::kInternetExplorer,
+                  net::Vantage::kHome, capture_duration_s));
+  add("youtube-html5-firefox-research",
+      base_config(Service::kYouTube, Container::kHtml5, Application::kFirefox,
+                  net::Vantage::kResearch, capture_duration_s));
+  add("youtube-html5-chrome-residence",
+      base_config(Service::kYouTube, Container::kHtml5, Application::kChrome,
+                  net::Vantage::kResidence, capture_duration_s));
+  add("youtube-html5-ipad-home",
+      base_config(Service::kYouTube, Container::kHtml5, Application::kIosNative,
+                  net::Vantage::kHome, capture_duration_s));
+  add("youtube-html5-android-residence",
+      base_config(Service::kYouTube, Container::kHtml5, Application::kAndroidNative,
+                  net::Vantage::kResidence, capture_duration_s));
+
+  // Netflix: Silverlight on PCs, the native apps on mobiles.
+  add("netflix-silverlight-pc-research",
+      base_config(Service::kNetflix, Container::kSilverlight, Application::kInternetExplorer,
+                  net::Vantage::kResearch, capture_duration_s));
+  add("netflix-silverlight-ipad-home",
+      base_config(Service::kNetflix, Container::kSilverlight, Application::kIosNative,
+                  net::Vantage::kHome, capture_duration_s));
+  add("netflix-silverlight-android-residence",
+      base_config(Service::kNetflix, Container::kSilverlight, Application::kAndroidNative,
+                  net::Vantage::kResidence, capture_duration_s));
+
+  // Behavioural variants: viewer interruption (Section 6.2) and the RFC
+  // 5681 idle-restart ablation (Fig 9).
+  {
+    auto cfg = base_config(Service::kYouTube, Container::kFlash, Application::kInternetExplorer,
+                           net::Vantage::kResidence, capture_duration_s);
+    cfg.watch_fraction = 0.4;
+    add("youtube-flash-ie-interrupted", cfg);
+  }
+  {
+    auto cfg = base_config(Service::kYouTube, Container::kFlash, Application::kInternetExplorer,
+                           net::Vantage::kResearch, capture_duration_s);
+    cfg.server_idle_cwnd_reset = true;
+    add("youtube-flash-ie-idle-restart", cfg);
+  }
+  return out;
+}
+
+RunFingerprint fingerprint_session(const SessionConfig& config) {
+  check::StateDigest digest;
+  SessionConfig cfg = config;
+  cfg.digest = &digest;
+  const SessionResult result = run_session(cfg);
+
+  RunFingerprint fp;
+  fp.sim_events = result.sim_events;
+  fp.bytes_downloaded = result.bytes_downloaded;
+  // Fold the headline outcome in after the run, so a divergence that the
+  // event-order stream somehow missed still flips the fingerprint.
+  digest.mix(result.bytes_downloaded);
+  digest.mix(result.sim_events);
+  digest.mix(static_cast<std::uint64_t>(result.connections));
+  digest.mix(result.player.downloaded_bytes);
+  digest.mix(result.player.consumed_bytes);
+  fp.digest = digest.value();
+  fp.words_mixed = digest.words_mixed();
+  return fp;
+}
+
+}  // namespace vstream::streaming

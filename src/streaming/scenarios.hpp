@@ -1,0 +1,43 @@
+// Canonical scenario catalog: one named SessionConfig per (service,
+// container, application) combination the paper's Table 1 supports, across
+// representative vantage networks. The examples exercise these shapes ad
+// hoc; the determinism audit (`tools/determinism_audit`) and the
+// determinism tests run every one of them twice with the same seed and
+// require bit-identical state digests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "streaming/session.hpp"
+
+namespace vstream::streaming {
+
+struct NamedScenario {
+  std::string name;
+  SessionConfig config;
+};
+
+/// Every supported Table-1 combination, each on a representative vantage,
+/// plus interruption and idle-restart variants. `capture_duration_s` scales
+/// every scenario's capture window (the paper used 180 s; tests use less).
+[[nodiscard]] std::vector<NamedScenario> canonical_scenarios(double capture_duration_s = 180.0);
+
+/// The determinism fingerprint of one scenario run: the simulator digest
+/// (event order + TCP state snapshots) with the run's headline results
+/// folded in, so divergence in either the event schedule or the outcome
+/// flips the value.
+struct RunFingerprint {
+  std::uint64_t digest{0};
+  std::uint64_t words_mixed{0};
+  std::uint64_t sim_events{0};
+  std::uint64_t bytes_downloaded{0};
+
+  friend bool operator==(const RunFingerprint&, const RunFingerprint&) = default;
+};
+
+/// Run one scenario with a digest attached and fingerprint the result.
+[[nodiscard]] RunFingerprint fingerprint_session(const SessionConfig& config);
+
+}  // namespace vstream::streaming

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "capture/recorder.hpp"
+#include "check/digest.hpp"
 #include "http/exchange.hpp"
 #include "net/path.hpp"
 #include "obs/context.hpp"
@@ -124,6 +125,7 @@ SessionResult run_session(const SessionConfig& cfg) {
 
   World w{cfg};
   if (cfg.trace_sink != nullptr) w.obs.trace().attach(cfg.trace_sink);
+  if (cfg.digest != nullptr) w.sim.set_digest(cfg.digest);
   obs::SimLoopMonitor loop_monitor{w.sim, sim::Duration::seconds(1.0)};
   loop_monitor.start();
   sim::Rng knob_rng = w.rng.fork("session-knobs");

@@ -19,6 +19,10 @@
 #include "streaming/player.hpp"
 #include "video/metadata.hpp"
 
+namespace vstream::check {
+class StateDigest;
+}
+
 namespace vstream::obs {
 class TraceSink;
 }
@@ -72,6 +76,10 @@ struct SessionConfig {
   /// run (typed probe events: cwnd samples, paced blocks, stalls, ...).
   /// Non-owning; must outlive run_session.
   obs::TraceSink* trace_sink{nullptr};
+  /// Optional determinism-audit digest attached to the session's simulator:
+  /// event dispatch order and TCP state snapshots fold into it, so two runs
+  /// with identical config must leave identical digests. Non-owning.
+  check::StateDigest* digest{nullptr};
 };
 
 struct SessionResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contracts.hpp"
 #include "obs/context.hpp"
 #include "tcp/endpoint.hpp"
 
@@ -10,6 +11,13 @@ namespace vstream::streaming {
 VideoStreamServer::VideoStreamServer(sim::Simulator& sim, tcp::Endpoint& endpoint,
                                      video::VideoMeta video, ServerPacing pacing)
     : sim_{sim}, conn_id_{endpoint.connection_id()}, video_{std::move(video)}, pacing_{pacing} {
+  if (pacing_.mode == ServerPacing::Mode::kPacedBlocks) {
+    VSTREAM_PRECONDITION(pacing_.block_bytes > 0, "paced discipline needs a positive block size");
+    VSTREAM_PRECONDITION(pacing_.accumulation_ratio > 0.0,
+                         "paced discipline needs a positive accumulation ratio");
+    VSTREAM_PRECONDITION(pacing_.initial_burst_playback_s >= 0.0,
+                         "initial burst length cannot be negative");
+  }
   http_ = std::make_unique<http::HttpServer>(
       endpoint, [this](const http::HttpRequest& req, const http::HttpServer::MakeResponder& make) {
         handle(req, make);
@@ -85,6 +93,7 @@ void VideoStreamServer::handle(const http::HttpRequest& request,
 
   const double steady_rate_bps = pacing_.accumulation_ratio * video_.encoding_bps;
   const double cycle_s = static_cast<double>(pacing_.block_bytes) * 8.0 / steady_rate_bps;
+  VSTREAM_INVARIANT(cycle_s > 0.0, "pacing cycle must be a positive interval");
   auto self = std::make_shared<sim::PeriodicTimer*>(nullptr);
   auto pacer = std::make_unique<sim::PeriodicTimer>(
       sim_, sim::Duration::seconds(cycle_s), [this, responder, self] {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+#include "check/digest.hpp"
 #include "obs/context.hpp"
 
 namespace vstream::tcp {
@@ -61,6 +63,41 @@ Endpoint::Endpoint(sim::Simulator& sim, std::uint64_t connection_id, TcpOptions 
 }
 
 // ---------------------------------------------------------------- probes
+
+void Endpoint::audit_state() {
+  // Sequence-space conservation: the unacked range is exactly what is in
+  // flight, and nothing transmitted may exceed the bytes the application
+  // queued (+ SYN and FIN marks). A violation here means the retransmit
+  // accounting drifted — the silent corruption this layer exists to catch.
+  VSTREAM_INVARIANT(snd_una_ <= snd_nxt_, "cumulative ACK point may not pass snd_nxt");
+  VSTREAM_INVARIANT(snd_nxt_ <= snd_max_ || snd_max_ == 0,
+                    "snd_nxt beyond the highest sequence ever transmitted");
+  VSTREAM_INVARIANT(snd_max_ <= seq_limit(), "transmitted past the queued sequence space");
+  VSTREAM_INVARIANT(sacked_.empty() || (sacked_.begin()->first >= snd_una_ &&
+                                        sacked_.rbegin()->second <= snd_max_),
+                    "SACK scoreboard strayed outside the unacked transmitted range");
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kFinSent) {
+    VSTREAM_INVARIANT(cwnd_ >= options_.mss, "cwnd collapsed below one MSS");
+    VSTREAM_INVARIANT(ssthresh_ >= 2ULL * options_.mss, "ssthresh below the RFC 5681 floor");
+  }
+  // Receive-side reassembly: buffered out-of-order runs live strictly above
+  // the next expected byte, and their byte count matches the interval map.
+  VSTREAM_INVARIANT(out_of_order_.empty() || out_of_order_.begin()->first > rcv_nxt_,
+                    "out-of-order run at or below rcv_nxt was never delivered");
+  VSTREAM_INVARIANT(ooo_bytes_ == 0 || !out_of_order_.empty(),
+                    "out-of-order byte count out of sync with the interval map");
+
+  if (check::StateDigest* digest = sim_.digest()) {
+    digest->mix(connection_id_);
+    digest->mix(static_cast<std::uint64_t>(state_));
+    digest->mix(snd_una_);
+    digest->mix(snd_nxt_);
+    digest->mix(cwnd_);
+    digest->mix(ssthresh_);
+    digest->mix(rcv_nxt_);
+    digest->mix(unread_bytes_);
+  }
+}
 
 void Endpoint::probe_cwnd() {
   obs::ObsContext* obs = sim_.obs();
@@ -364,6 +401,8 @@ void Endpoint::on_rto() {
   const std::uint64_t flight = std::max<std::uint64_t>(bytes_in_flight(), options_.mss);
   ssthresh_ = std::max<std::uint64_t>(flight / 2, 2ULL * options_.mss);
   cwnd_ = options_.mss;  // RFC 5681 loss window
+  VSTREAM_POSTCONDITION(ssthresh_ >= 2ULL * options_.mss,
+                        "RTO must leave ssthresh at >= 2 MSS (RFC 5681)");
   in_fast_recovery_ = false;
   dup_acks_ = 0;
   rexmit_high_ = 0;
@@ -503,6 +542,11 @@ void Endpoint::note_peer_window(const TcpSegment& segment) {
 }
 
 void Endpoint::on_segment(const TcpSegment& segment) {
+  on_segment_impl(segment);
+  audit_state();
+}
+
+void Endpoint::on_segment_impl(const TcpSegment& segment) {
   const std::uint64_t prev_wnd = peer_wnd_;
   const bool had_wnd = peer_wnd_seen_;
 
@@ -646,6 +690,7 @@ void Endpoint::on_new_ack(std::uint64_t acked_bytes, std::uint64_t ack) {
         std::max<std::uint64_t>(1, static_cast<std::uint64_t>(options_.mss) * options_.mss / cwnd_);
     cwnd_ += inc;  // congestion avoidance, ~1 MSS per RTT
   }
+  VSTREAM_POSTCONDITION(cwnd_ >= options_.mss, "ACK processing shrank cwnd below one MSS");
   probe_cwnd();
 }
 
@@ -690,6 +735,7 @@ void Endpoint::handle_data(const TcpSegment& segment) {
   const std::uint64_t len = segment.payload_bytes;
   const std::uint64_t end = seq + len;
   const std::uint64_t ooo_before = ooo_bytes_;
+  const std::uint64_t rcv_nxt_before = rcv_nxt_;
   bool immediate_ack = false;
   bool became_readable = false;
 
@@ -739,6 +785,8 @@ void Endpoint::handle_data(const TcpSegment& segment) {
     immediate_ack = true;
   }
 
+  VSTREAM_POSTCONDITION(rcv_nxt_ >= rcv_nxt_before,
+                        "receive path moved the in-order delivery point backwards");
   // Give the application its data before acking, so a synchronous reader's
   // drain is reflected in the advertised window the ACK carries.
   if (became_readable && on_readable_) on_readable_();

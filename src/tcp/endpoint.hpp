@@ -136,6 +136,7 @@ class Endpoint {
   [[nodiscard]] std::uint64_t seq_limit() const;  // one past last sendable seq
 
   // -- receiving machinery --
+  void on_segment_impl(const net::TcpSegment& segment);
   void handle_ack(const net::TcpSegment& segment);
   void handle_ack_impl(const net::TcpSegment& segment, bool window_update);
   void handle_data(const net::TcpSegment& segment);
@@ -151,6 +152,10 @@ class Endpoint {
   void sample_rtt(std::uint64_t ack);
 
   // -- observability --
+  /// Check the sequence-space / congestion-control invariants and, when a
+  /// determinism digest is attached to the simulator, fold a state snapshot
+  /// into it. Called after every segment reception.
+  void audit_state();
   /// Emit a `TcpCwndSample` on the world's trace bus (no-op when no sink).
   void probe_cwnd();
   /// Track zero-window advertisement episodes from the window value a

@@ -1,0 +1,58 @@
+// 32-bit wire sequence-space arithmetic (RFC 793 / RFC 1982 style).
+//
+// The simulator keeps sequence numbers as 64-bit absolute offsets, which
+// cannot wrap in any realistic run; but everything that crosses the wire
+// boundary — the pcap writer, trace analysis of captured segments, replayed
+// real captures — sees the 32-bit field, where a long-lived fat connection
+// wraps in minutes. All comparisons on wire values must therefore be done
+// modulo 2^32 through these helpers; `tools/vstream_lint.py` forbids raw
+// relational operators on `WireSeq` fields.
+#pragma once
+
+#include <cstdint>
+
+#include "check/contracts.hpp"
+
+namespace vstream::tcp {
+
+/// A sequence number as it appears in the 32-bit TCP header field.
+using WireSeq = std::uint32_t;
+
+/// Half the sequence space; the comparison horizon. Two wire values whose
+/// distance exceeds this are ambiguous under RFC 1982 serial arithmetic.
+inline constexpr std::uint32_t kSeqHorizon = 0x80000000U;
+
+/// Truncate a 64-bit absolute stream offset to its wire representation.
+[[nodiscard]] constexpr WireSeq to_wire(std::uint64_t absolute_seq) {
+  return static_cast<WireSeq>(absolute_seq);
+}
+
+/// Signed distance a -> b in sequence space, correct across wraparound as
+/// long as the true distance is under half the space.
+[[nodiscard]] constexpr std::int32_t seq_distance(WireSeq from, WireSeq to) {
+  return static_cast<std::int32_t>(to - from);
+}
+
+[[nodiscard]] constexpr bool seq_lt(WireSeq a, WireSeq b) { return seq_distance(a, b) > 0; }
+[[nodiscard]] constexpr bool seq_leq(WireSeq a, WireSeq b) { return seq_distance(a, b) >= 0; }
+[[nodiscard]] constexpr bool seq_gt(WireSeq a, WireSeq b) { return seq_lt(b, a); }
+[[nodiscard]] constexpr bool seq_geq(WireSeq a, WireSeq b) { return seq_leq(b, a); }
+
+/// Advance a wire sequence by `bytes`, wrapping modulo 2^32.
+[[nodiscard]] constexpr WireSeq seq_add(WireSeq seq, std::uint64_t bytes) {
+  return static_cast<WireSeq>(seq + static_cast<std::uint32_t>(bytes));
+}
+
+/// Un-wrap a captured wire value back to a 64-bit absolute offset, given a
+/// recent absolute reference (e.g. the highest absolute seq seen so far).
+/// The wire value is interpreted as the absolute offset closest to the
+/// reference, which is exact while the reference lags the truth by less
+/// than half the sequence space.
+[[nodiscard]] constexpr std::uint64_t from_wire(WireSeq wire, std::uint64_t reference) {
+  const std::int32_t delta = seq_distance(to_wire(reference), wire);
+  const std::int64_t absolute = static_cast<std::int64_t>(reference) + delta;
+  VSTREAM_POSTCONDITION(absolute >= 0, "unwrapped sequence must not precede stream start");
+  return static_cast<std::uint64_t>(absolute);
+}
+
+}  // namespace vstream::tcp

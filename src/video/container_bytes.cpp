@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/contracts.hpp"
+
 namespace vstream::video {
 namespace {
 
@@ -15,6 +17,7 @@ void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
 }
 
 void put_u24be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  VSTREAM_PRECONDITION(v < (1U << 24U), "u24 field would silently truncate");
   out.push_back(static_cast<std::uint8_t>(v >> 16U));
   out.push_back(static_cast<std::uint8_t>(v >> 8U));
   out.push_back(static_cast<std::uint8_t>(v));
@@ -52,6 +55,7 @@ constexpr std::uint8_t kAmfString = 0x02;
 constexpr std::uint8_t kAmfEcmaArray = 0x08;
 
 void put_amf_string_raw(std::vector<std::uint8_t>& out, const std::string& s) {
+  VSTREAM_PRECONDITION(s.size() <= 0xFFFF, "AMF0 short string longer than its length field");
   put_u16be(out, static_cast<std::uint16_t>(s.size()));
   out.insert(out.end(), s.begin(), s.end());
 }
@@ -103,7 +107,7 @@ void put_ebml_id(std::vector<std::uint8_t>& out, std::uint32_t id) {
   } else if (id > 0xFFFF) {
     put_u24be(out, id);
   } else if (id > 0xFF) {
-    put_u16be(out, id);
+    put_u16be(out, static_cast<std::uint16_t>(id));
   } else {
     out.push_back(static_cast<std::uint8_t>(id));
   }
@@ -111,6 +115,7 @@ void put_ebml_id(std::vector<std::uint8_t>& out, std::uint32_t id) {
 
 void put_ebml_size(std::vector<std::uint8_t>& out, std::uint64_t size) {
   // 8-byte vint keeps encoding trivial and unambiguous.
+  VSTREAM_PRECONDITION(size < (1ULL << 56U), "EBML size exceeds an 8-byte vint payload");
   out.push_back(0x01);
   for (int shift = 48; shift >= 0; shift -= 8) {
     out.push_back(static_cast<std::uint8_t>(size >> static_cast<unsigned>(shift)));

@@ -1,0 +1,51 @@
+// Proof that the release flavour of the contract layer is inert.
+//
+// This target builds with `VSTREAM_CHECK_LEVEL=0` (see tests/CMakeLists.txt):
+// every macro must compile to a no-op — no throw, no evaluation of the
+// condition, no side effects — while the referenced variables still count
+// as used so the -Werror build stays quiet.
+#include <gtest/gtest.h>
+
+#include "check/contracts.hpp"
+
+static_assert(VSTREAM_CHECK_LEVEL == 0,
+              "check_release_test must build with contracts compiled out; "
+              "fix the target_compile_options in tests/CMakeLists.txt");
+
+namespace vstream::check {
+namespace {
+
+TEST(ContractsReleaseTest, FalseConditionsDoNotThrow) {
+  EXPECT_NO_THROW(VSTREAM_PRECONDITION(false, "compiled out"));
+  EXPECT_NO_THROW(VSTREAM_INVARIANT(false, "compiled out"));
+  EXPECT_NO_THROW(VSTREAM_POSTCONDITION(false, "compiled out"));
+}
+
+TEST(ContractsReleaseTest, ConditionSideEffectsNeverRun) {
+  int calls = 0;
+  const auto fail_and_count = [&calls] {
+    ++calls;
+    return false;
+  };
+  VSTREAM_PRECONDITION(fail_and_count(), "must stay unevaluated");
+  VSTREAM_INVARIANT(fail_and_count(), "must stay unevaluated");
+  VSTREAM_POSTCONDITION(fail_and_count(), "must stay unevaluated");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ContractsReleaseTest, NoViolationEverRegisters) {
+  const std::uint64_t before = violations_raised();
+  VSTREAM_INVARIANT(1 == 2, "compiled out");
+  EXPECT_EQ(violations_raised(), before);
+}
+
+TEST(ContractsReleaseTest, VariablesReferencedOnlyByContractsStayUsed) {
+  // Under -Werror=unused-variable this test would fail to *compile* if the
+  // level-0 macro discarded its condition entirely.
+  const bool checked_only_here = true;
+  VSTREAM_INVARIANT(checked_only_here, "references the variable");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vstream::check

@@ -1,0 +1,130 @@
+// Tests for 32-bit wire sequence arithmetic and the pcap wraparound
+// regression: a connection transferring more than 4 GiB wraps the wire
+// field, and read_pcap must unwrap it back to monotone 64-bit offsets.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "capture/pcap.hpp"
+#include "capture/trace.hpp"
+#include "check/contracts.hpp"
+#include "net/segment.hpp"
+#include "tcp/seqspace.hpp"
+
+namespace vstream::tcp {
+namespace {
+
+TEST(SeqSpaceTest, ToWireTruncatesModulo32Bits) {
+  EXPECT_EQ(to_wire(0x0000000000000005ULL), 5U);
+  EXPECT_EQ(to_wire(0x0000000100000005ULL), 5U);
+  EXPECT_EQ(to_wire(0x00000001FFFFFFFFULL), 0xFFFFFFFFU);
+}
+
+TEST(SeqSpaceTest, DistanceIsSignedAcrossWrap) {
+  EXPECT_EQ(seq_distance(0xFFFFFFF0U, 0x10U), 0x20);
+  EXPECT_EQ(seq_distance(0x10U, 0xFFFFFFF0U), -0x20);
+  EXPECT_EQ(seq_distance(7U, 7U), 0);
+}
+
+TEST(SeqSpaceTest, ComparisonsWorkAcrossWrap) {
+  EXPECT_TRUE(seq_lt(0xFFFFFFF0U, 0x10U));
+  EXPECT_FALSE(seq_lt(0x10U, 0xFFFFFFF0U));
+  EXPECT_TRUE(seq_gt(0x10U, 0xFFFFFFF0U));
+  EXPECT_TRUE(seq_leq(7U, 7U));
+  EXPECT_TRUE(seq_geq(7U, 7U));
+  EXPECT_FALSE(seq_lt(7U, 7U));
+}
+
+TEST(SeqSpaceTest, AddWrapsModulo32Bits) {
+  EXPECT_EQ(seq_add(0xFFFFFFFFU, 2), 1U);
+  EXPECT_EQ(seq_add(0U, 0x100000000ULL), 0U);  // a full lap lands where it started
+}
+
+TEST(SeqSpaceTest, FromWireRoundTripsAroundReference) {
+  // Exact round trip for offsets beyond 2^32.
+  const std::uint64_t ref = 0x0000000200000123ULL;
+  EXPECT_EQ(from_wire(to_wire(ref), ref), ref);
+
+  // Slightly ahead of the reference, across the wrap boundary.
+  EXPECT_EQ(from_wire(0x10U, 0xFFFFFFF0ULL), 0x0000000100000010ULL);
+
+  // Slightly behind the reference, across the wrap boundary.
+  EXPECT_EQ(from_wire(0xFFFFFFF0U, 0x0000000100000010ULL), 0xFFFFFFF0ULL);
+}
+
+#if VSTREAM_CHECK_LEVEL >= 1
+TEST(SeqSpaceTest, FromWireRejectsNegativeUnwrap) {
+  // A wire value half a lap *behind* a reference near zero would unwrap to
+  // a negative offset — that is a corrupt capture, not a valid stream.
+  EXPECT_THROW((void)from_wire(0xFFFFFFFFU, 0), check::ContractViolation);
+}
+#endif
+
+// ------------------------------------------------- pcap wraparound trip
+
+capture::PacketRecord record(double t, net::Direction d, std::uint64_t seq, std::uint64_t ack,
+                             std::uint32_t payload) {
+  capture::PacketRecord r;
+  r.t_s = t;
+  r.direction = d;
+  r.connection_id = 1;
+  r.seq = seq;
+  r.ack = ack;
+  r.payload_bytes = payload;
+  r.window_bytes = 65536;
+  r.flags = net::TcpFlag::kAck;
+  return r;
+}
+
+TEST(SeqSpaceTest, PcapRoundTripUnwrapsA4GiBConnection) {
+  using net::Direction;
+  constexpr std::uint64_t kWrap = 0x100000000ULL;  // 2^32
+
+  capture::PacketTrace trace;
+  trace.duration_s = 1.0;
+  // Down-direction data straddling the 2^32 boundary (server seq space),
+  // plus the client acknowledging past the boundary (ack lives in the
+  // server's space; the client's own seq space stays tiny).
+  trace.packets.push_back(record(0.10, Direction::kDown, kWrap - 512, 1, 512));
+  trace.packets.push_back(record(0.20, Direction::kUp, 1, kWrap, 0));
+  trace.packets.push_back(record(0.30, Direction::kDown, kWrap, 1, 512));
+  trace.packets.push_back(record(0.40, Direction::kDown, kWrap + 512, 1, 512));
+  trace.packets.push_back(record(0.50, Direction::kUp, 1, kWrap + 1024, 0));
+
+  const std::string path = "/tmp/vstream_seqspace_wrap.pcap";
+  capture::write_pcap(trace, path);
+  const auto loaded = capture::read_pcap(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.packets.size(), trace.packets.size());
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    EXPECT_EQ(loaded.packets[i].seq, trace.packets[i].seq) << "packet " << i;
+    EXPECT_EQ(loaded.packets[i].ack, trace.packets[i].ack) << "packet " << i;
+  }
+
+  // The regression this guards: the raw 32-bit field reads 0 at the wrap,
+  // which a naive reader would return as a non-monotone 64-bit offset.
+  EXPECT_GT(loaded.packets[2].seq, loaded.packets[0].seq);
+  EXPECT_EQ(loaded.packets[2].seq, kWrap);
+}
+
+TEST(SeqSpaceTest, PcapShortTracesKeepExactSequences) {
+  using net::Direction;
+  capture::PacketTrace trace;
+  trace.duration_s = 1.0;
+  trace.packets.push_back(record(0.1, Direction::kDown, 1, 1, 1460));
+  trace.packets.push_back(record(0.2, Direction::kUp, 1, 1461, 0));
+
+  const std::string path = "/tmp/vstream_seqspace_short.pcap";
+  capture::write_pcap(trace, path);
+  const auto loaded = capture::read_pcap(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.packets.size(), 2U);
+  EXPECT_EQ(loaded.packets[0].seq, 1U);
+  EXPECT_EQ(loaded.packets[1].ack, 1461U);
+}
+
+}  // namespace
+}  // namespace vstream::tcp

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "check/contracts.hpp"
 #include "sim/periodic_timer.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -121,11 +122,27 @@ TEST(SimulatorTest, MaxEventsPendingTracksQueueHighWater) {
   EXPECT_EQ(sim.max_events_pending(), 5u);
 }
 
-TEST(SimulatorTest, PastScheduleClampsToNow) {
+#if VSTREAM_CHECK_LEVEL >= 1
+TEST(SimulatorTest, PastScheduleViolatesContract) {
+  // schedule_at is strict: a past absolute time is a caller bug, not a
+  // request to run "now" (schedule_after keeps the clamping semantics).
+  Simulator sim;
+  bool checked = false;
+  sim.schedule_at(SimTime::from_seconds(5.0), [&] {
+    EXPECT_THROW(sim.schedule_at(SimTime::from_seconds(1.0), [] {}),
+                 check::ContractViolation);
+    checked = true;
+  });
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+#endif
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
   Simulator sim;
   sim.schedule_at(SimTime::from_seconds(5.0), [&] {
-    // Scheduling in the past runs "now", not before.
-    sim.schedule_at(SimTime::from_seconds(1.0), [&] { EXPECT_GE(sim.now().to_seconds(), 5.0); });
+    sim.schedule_after(Duration::seconds(-3.0),
+                       [&] { EXPECT_GE(sim.now().to_seconds(), 5.0); });
   });
   sim.run();
 }

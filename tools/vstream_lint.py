@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""vstream domain linter: repo rules clang-tidy cannot express.
+
+Rules (all scoped to C++ sources):
+
+  rand         no rand()/srand()/random() — all stochastic behaviour must
+               flow through sim::Rng so a run is reproducible from its seed.
+               Scope: src/, examples/, tools/, bench/.
+  wall-clock   no wall-clock reads (std::chrono::*_clock, time(), clock(),
+               gettimeofday) inside simulation-driven code: simulated time
+               comes from sim::Simulator. Scope: src/, examples/, tools/.
+               bench/ is host-side harness code and exempt.
+  float-eq     no == / != against floating-point literals; compare with an
+               explicit tolerance. Scope: src/, examples/, tools/, bench/.
+  naked-new    no naked new/delete; use std::make_unique / std::make_shared
+               or containers. Scope: src/, examples/, tools/, bench/.
+  bare-assert  no <cassert> assert() — it vanishes under NDEBUG, so CI
+               builds would not run it. Use the VSTREAM_* contract macros
+               (src/check/contracts.hpp). static_assert is fine.
+               Scope: src/, examples/, tools/, bench/.
+
+Waivers: append `// vstream-lint: allow(<rule>): <reason>` to the offending
+line, or put `// vstream-lint-file: allow(<rule>): <reason>` anywhere in the
+file to waive the rule for the whole file. Reasons are mandatory.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+LINE_WAIVER = re.compile(r"//\s*vstream-lint:\s*allow\((?P<rules>[a-z-]+(?:\s*,\s*[a-z-]+)*)\):\s*\S")
+FILE_WAIVER = re.compile(
+    r"//\s*vstream-lint-file:\s*allow\((?P<rules>[a-z-]+(?:\s*,\s*[a-z-]+)*)\):\s*\S"
+)
+
+# rule -> (pattern, message, directories it applies to)
+RULES = {
+    "rand": (
+        re.compile(r"(?<![\w:])(?:std::)?s?rand(?:om)?\s*\("),
+        "rand()/srand()/random() breaks seeded reproducibility; use sim::Rng",
+        ("src", "examples", "tools", "bench"),
+    ),
+    "wall-clock": (
+        re.compile(
+            r"std::chrono::(?:system|steady|high_resolution)_clock"
+            r"|(?<![\w:])(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+            r"|(?<![\w:])(?:std::)?clock\s*\(\s*\)"
+            r"|(?<![\w:])gettimeofday\s*\("
+        ),
+        "wall-clock read inside simulation-driven code; use sim::Simulator::now()",
+        ("src", "examples", "tools"),
+    ),
+    "float-eq": (
+        re.compile(
+            r"[=!]=\s*[-+]?(?:\d+\.\d*|\.\d+|\d+(?=[eE]))(?:[eE][-+]?\d+)?[fF]?(?![\w.])"
+            r"|(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?\s*[=!]="
+        ),
+        "floating-point equality comparison; compare with an explicit tolerance",
+        ("src", "examples", "tools", "bench"),
+    ),
+    "naked-new": (
+        re.compile(r"(?<![\w:])new\s+[A-Za-z_(]|(?<![\w:])delete\s+[\w(]|(?<![\w:])delete\[\]"),
+        "naked new/delete; use std::make_unique / std::make_shared or a container",
+        ("src", "examples", "tools", "bench"),
+    ),
+    "bare-assert": (
+        re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<cassert>|#\s*include\s*<assert\.h>"),
+        "bare assert() vanishes under NDEBUG; use VSTREAM_INVARIANT / _PRECONDITION",
+        ("src", "examples", "tools", "bench"),
+    ),
+}
+
+COMMENT_ONLY = re.compile(r"^\s*(//|\*|/\*)")
+STRING_LITERAL = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    rel = path.relative_to(root)
+    top = rel.parts[0]
+    text = path.read_text(encoding="utf-8", errors="replace")
+    file_waived: set[str] = set()
+    for match in FILE_WAIVER.finditer(text):
+        file_waived.update(r.strip() for r in match.group("rules").split(","))
+
+    findings = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if COMMENT_ONLY.match(line):
+            continue
+        waived = set(file_waived)
+        line_waiver = LINE_WAIVER.search(line)
+        if line_waiver:
+            waived.update(r.strip() for r in line_waiver.group("rules").split(","))
+        # Strip string literals and the trailing comment before matching, so
+        # documentation and messages never trip a rule.
+        code = STRING_LITERAL.sub('""', line)
+        code = code.split("//", 1)[0]
+        if "static_assert" in code:
+            code = code.replace("static_assert", "")
+        for rule, (pattern, message, scopes) in RULES.items():
+            if top not in scopes or rule in waived:
+                continue
+            if pattern.search(code):
+                findings.append(f"{rel}:{lineno}: [{rule}] {message}\n    {line.strip()}")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the checkout containing this script)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="restrict linting to these files (default: whole tree)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    if args.paths:
+        files = [p.resolve() for p in args.paths if p.suffix in CPP_SUFFIXES]
+    else:
+        files = sorted(
+            p for top in ("src", "examples", "tools", "bench")
+            for p in (root / top).rglob("*") if p.suffix in CPP_SUFFIXES
+        )
+
+    findings: list[str] = []
+    for path in files:
+        try:
+            findings.extend(lint_file(path, root))
+        except ValueError:
+            print(f"vstream_lint: {path} is outside {root}", file=sys.stderr)
+            return 2
+
+    for finding in findings:
+        print(finding)
+    print(f"vstream_lint: {len(files)} files, {len(findings)} finding(s)")
+    return 0 if not findings else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
