@@ -34,12 +34,39 @@ std::size_t sessions_per_sweep() {
   return 30;
 }
 
-SessionOutcome run_and_analyze(const streaming::SessionConfig& config) {
+namespace {
+
+SessionOutcome analyze_only(const streaming::SessionConfig& config) {
   SessionOutcome out;
   out.result = streaming::run_session(config);
   out.analysis = analysis::analyze_on_off(out.result.trace);
   out.decision = analysis::classify_strategy(out.analysis, out.result.trace);
+  return out;
+}
+
+}  // namespace
+
+SessionOutcome run_and_analyze(const streaming::SessionConfig& config) {
+  SessionOutcome out = analyze_only(config);
   RunTelemetry::instance().record(out);
+  return out;
+}
+
+std::vector<SessionOutcome> run_and_analyze_all(
+    const std::vector<streaming::SessionConfig>& configs) {
+  const runner::ParallelSweep pool;
+  std::vector<SessionOutcome> out;
+  if (pool.jobs() <= 1 || configs.size() <= 1) {
+    out.reserve(configs.size());
+    for (const auto& cfg : configs) out.push_back(run_and_analyze(cfg));
+    return out;
+  }
+  // Workers touch no shared state (each session is its own world); the
+  // RunTelemetry singleton is not thread-safe, so the fold happens here,
+  // serially, in submission order — same aggregate as the serial path.
+  out = pool.map<SessionOutcome>(configs.size(),
+                                 [&configs](std::size_t i) { return analyze_only(configs[i]); });
+  for (const auto& outcome : out) RunTelemetry::instance().record(outcome);
   return out;
 }
 
@@ -63,14 +90,13 @@ std::vector<SessionOutcome> sweep(streaming::Service service, video::Container c
                                   std::uint64_t seed) {
   sim::Rng rng{seed};
   const auto ds = video::make_dataset(dataset, rng, count);
-  std::vector<SessionOutcome> out;
-  out.reserve(ds.size());
+  std::vector<streaming::SessionConfig> configs;
+  configs.reserve(ds.size());
   for (std::size_t i = 0; i < ds.size(); ++i) {
-    const auto cfg =
-        make_config(service, container, application, vantage, ds.videos[i], seed + 1000 + i);
-    out.push_back(run_and_analyze(cfg));
+    configs.push_back(
+        make_config(service, container, application, vantage, ds.videos[i], seed + 1000 + i));
   }
-  return out;
+  return run_and_analyze_all(configs);
 }
 
 void print_header(const std::string& title, const std::string& paper_reference) {

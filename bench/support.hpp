@@ -19,6 +19,7 @@
 #include "analysis/strategy.hpp"
 #include "net/profile.hpp"
 #include "obs/metrics.hpp"
+#include "runner/parallel_sweep.hpp"
 #include "stats/cdf.hpp"
 #include "streaming/session.hpp"
 #include "video/datasets.hpp"
@@ -40,6 +41,14 @@ struct SessionOutcome {
 
 /// Run one session and the paper's full analysis on its trace.
 [[nodiscard]] SessionOutcome run_and_analyze(const streaming::SessionConfig& config);
+
+/// Run a batch of independent configs, fanned across cores when VSTREAM_JOBS
+/// (or the hardware) allows (see runner::ParallelSweep). Results come back
+/// in submission order and fold into the active RunTelemetry serially in
+/// that same order, so the telemetry aggregate is independent of the worker
+/// count. VSTREAM_JOBS=1 is the historical serial loop, bit for bit.
+[[nodiscard]] std::vector<SessionOutcome> run_and_analyze_all(
+    const std::vector<streaming::SessionConfig>& configs);
 
 /// Build a session config for a (service, container, application) combo on a
 /// vantage network with a given video.

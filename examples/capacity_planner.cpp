@@ -9,12 +9,19 @@
 // HD encoding rates.
 //
 // Usage: capacity_planner [lambda_per_s] [mean_rate_mbps] [mean_duration_s]
+//
+// The empirical cross-check at the end simulates full sessions; those fan
+// out across cores (worker count from VSTREAM_JOBS, default hardware
+// concurrency, 1 = serial).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "model/aggregate.hpp"
 #include "model/interruption.hpp"
+#include "runner/parallel_sweep.hpp"
+#include "streaming/session.hpp"
 
 namespace {
 
@@ -67,6 +74,38 @@ int main(int argc, char** argv) {
               result.mean_bps / 1e6, model::mean_aggregate_rate_bps(p) / 1e6,
               std::sqrt(result.variance) / 1e6, std::sqrt(model::variance_aggregate_rate(p)) / 1e6);
   std::printf("  mean concurrently-active flows: %.1f\n", result.mean_active_flows);
+
+  // Empirical cross-check: the model's per-session inputs (download rate G,
+  // encoding rate e) come from packet-level simulation, not assumption.
+  // Sessions are independent worlds, so they fan across cores; results are
+  // merged in submission order and identical for any worker count.
+  {
+    constexpr std::size_t kSessions = 8;
+    std::vector<streaming::SessionConfig> configs(kSessions);
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      auto& cfg = configs[i];
+      cfg.network = net::profile_for(net::Vantage::kResearch);
+      cfg.video.id = "planner";
+      cfg.video.duration_s = p.mean_duration_s;
+      cfg.video.encoding_bps = p.mean_encoding_bps;
+      cfg.video.container = video::Container::kFlash;
+      cfg.capture_duration_s = 30.0;
+      cfg.seed = 7000 + i;
+    }
+    const runner::ParallelSweep pool;
+    const auto sessions = pool.run_sessions(configs);
+    double rate_sum = 0.0;
+    double encoding_sum = 0.0;
+    for (const auto& s : sessions) {
+      rate_sum += 8.0 * s.bytes_downloaded / configs.front().capture_duration_s;
+      encoding_sum += s.encoding_bps_estimated;
+    }
+    std::printf("\nempirical session sweep (%zu simulated sessions, %zu workers):\n",
+                sessions.size(), pool.jobs());
+    std::printf("  mean session download rate %.2f Mbps (model E[e] input %.2f Mbps)\n",
+                rate_sum / kSessions / 1e6, p.mean_encoding_bps / 1e6);
+    std::printf("  mean estimated encoding    %.2f Mbps\n", encoding_sum / kSessions / 1e6);
+  }
 
   std::printf("\n== what-if scenarios (paper's conclusion) ==\n");
 

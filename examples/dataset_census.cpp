@@ -4,12 +4,18 @@
 // drives the interruption studies.
 //
 // Usage: dataset_census [videos_per_dataset]
+//
+// The per-dataset session sampler at the end simulates one session per
+// sampled video; those fan out across cores (worker count from
+// VSTREAM_JOBS, default hardware concurrency, 1 = serial).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "runner/parallel_sweep.hpp"
 #include "stats/descriptive.hpp"
+#include "streaming/session.hpp"
 #include "video/datasets.hpp"
 #include "video/viewing.hpp"
 
@@ -69,5 +75,45 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper's citations: 60%% of videos watched < 20%% of their duration\n"
               "(Finamore); longer videos watched for smaller fractions (Huang).\n");
+
+  std::printf("\n== simulated session sample (packet level, parallel) ==\n\n");
+  // One short session per sampled video, every dataset in one batch. Each
+  // session is an independent world keyed by a deterministic seed, so the
+  // table is identical for any VSTREAM_JOBS value.
+  constexpr std::size_t kPerDataset = 3;
+  const std::vector<video::DatasetId> ids{video::DatasetId::kYouFlash, video::DatasetId::kYouHd,
+                                          video::DatasetId::kYouHtml};
+  std::vector<streaming::SessionConfig> configs;
+  sim::Rng sample_rng{42};
+  for (const auto id : ids) {
+    const auto ds = video::make_dataset(id, sample_rng, 50);
+    for (std::size_t i = 0; i < kPerDataset; ++i) {
+      streaming::SessionConfig cfg;
+      cfg.network = net::profile_for(net::Vantage::kResearch);
+      cfg.video = ds.videos[i * 7];  // spread the picks across the catalogue
+      cfg.container = cfg.video.container;
+      cfg.capture_duration_s = 20.0;
+      cfg.seed = 100 * static_cast<std::uint64_t>(id) + i;
+      configs.push_back(cfg);
+    }
+  }
+  const runner::ParallelSweep pool;
+  const auto sessions = pool.run_sessions(configs);
+  std::printf("%zu sessions across %zu workers\n", sessions.size(), pool.jobs());
+  std::printf("%-9s %10s %12s %12s\n", "dataset", "down MB", "est. Mbps", "connections");
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    double mb = 0.0;
+    double mbps = 0.0;
+    std::size_t connections = 0;
+    for (std::size_t i = 0; i < kPerDataset; ++i) {
+      const auto& s = sessions[d * kPerDataset + i];
+      mb += s.bytes_downloaded / 1048576.0;
+      mbps += s.encoding_bps_estimated / 1e6;
+      connections += s.connections;
+    }
+    std::printf("%-9s %10.2f %12.2f %12.1f\n", video::to_string(ids[d]).c_str(),
+                mb / kPerDataset, mbps / kPerDataset,
+                static_cast<double>(connections) / kPerDataset);
+  }
   return 0;
 }

@@ -9,10 +9,15 @@
 //   strategy_explorer youtube html5 chrome research 600 1.2 /tmp/chrome.pcap
 //
 // Every argument is optional; defaults reproduce the quickstart Flash run.
+//
+// Sweep mode fans N seeds of one combination across cores (worker count
+// from VSTREAM_JOBS, default hardware concurrency, 1 = serial):
+//   strategy_explorer sweep 16 [service] [container] [application] [network]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/ack_clock.hpp"
 #include "analysis/flows.hpp"
@@ -20,6 +25,7 @@
 #include "analysis/strategy.hpp"
 #include "capture/csv.hpp"
 #include "capture/pcap.hpp"
+#include "runner/parallel_sweep.hpp"
 #include "streaming/session.hpp"
 #include "video/datasets.hpp"
 
@@ -67,15 +73,52 @@ net::Vantage parse_vantage(const std::string& s, const char* argv0) {
   usage(argv0);
 }
 
+/// Sweep mode: N seeds of one combination, fanned across workers. Every
+/// session is an independent world, so the per-seed rows are identical for
+/// any VSTREAM_JOBS value — only the wall time changes.
+int run_sweep(std::size_t count, const streaming::SessionConfig& base) {
+  std::vector<streaming::SessionConfig> configs(count, base);
+  for (std::size_t i = 0; i < count; ++i) configs[i].seed = 1000 + i;
+
+  const runner::ParallelSweep pool;
+  const auto results = pool.run_sessions(configs);
+
+  std::printf("sweep: %zu sessions of %s across %zu workers\n\n", count,
+              results.empty() ? "?" : results.front().trace.label.c_str(), pool.jobs());
+  std::printf("%6s %10s %12s %14s %s\n", "seed", "down MB", "steady Mbps", "median blk kB",
+              "strategy");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto analysis = analysis::analyze_on_off(results[i].trace);
+    const auto decision = analysis::classify_strategy(analysis, results[i].trace);
+    std::printf("%6llu %10.2f %12.2f %14.0f %s\n",
+                static_cast<unsigned long long>(configs[i].seed),
+                results[i].bytes_downloaded / 1048576.0,
+                analysis.has_steady_state() ? analysis.steady_rate_bps / 1e6 : 0.0,
+                analysis.has_steady_state() ? analysis.median_block_bytes() / 1024.0 : 0.0,
+                analysis::to_string(decision.strategy).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* argv0 = argv[0];
+  // `strategy_explorer sweep N [combo...]` shifts the combo args by two.
+  std::size_t sweep_count = 0;
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    sweep_count = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+    if (sweep_count == 0) usage(argv0);
+    argc -= 2;
+    argv += 2;
+  }
+
   streaming::SessionConfig cfg;
-  cfg.service = argc > 1 ? parse_service(argv[1], argv[0]) : streaming::Service::kYouTube;
-  cfg.container = argc > 2 ? parse_container(argv[2], argv[0]) : video::Container::kFlash;
+  cfg.service = argc > 1 ? parse_service(argv[1], argv0) : streaming::Service::kYouTube;
+  cfg.container = argc > 2 ? parse_container(argv[2], argv0) : video::Container::kFlash;
   cfg.application =
-      argc > 3 ? parse_application(argv[3], argv[0]) : streaming::Application::kInternetExplorer;
-  const auto vantage = argc > 4 ? parse_vantage(argv[4], argv[0]) : net::Vantage::kResearch;
+      argc > 3 ? parse_application(argv[3], argv0) : streaming::Application::kInternetExplorer;
+  const auto vantage = argc > 4 ? parse_vantage(argv[4], argv0) : net::Vantage::kResearch;
   cfg.network = net::profile_for(vantage);
 
   cfg.video.id = "explorer";
@@ -94,6 +137,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "combination not applicable (Table 1 says N/A)\n");
     return 1;
   }
+
+  if (sweep_count > 0) return run_sweep(sweep_count, cfg);
 
   const auto result = streaming::run_session(cfg);
   const auto analysis = analysis::analyze_on_off(result.trace);

@@ -6,10 +6,11 @@
 // tcp::TagChannel), the standard simulator idiom for bulk traffic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <utility>
-#include <vector>
 
 namespace vstream::net {
 
@@ -28,6 +29,51 @@ enum class TcpFlag : std::uint8_t {
 [[nodiscard]] constexpr bool has_flag(TcpFlag set, TcpFlag f) {
   return (static_cast<std::uint8_t>(set) & static_cast<std::uint8_t>(f)) != 0;
 }
+
+/// Fixed-capacity SACK block list: up to 3 [start, end) ranges stored
+/// inline, so copying a segment across links, capture taps and the recorder
+/// never touches the heap (a real TCP header cannot carry more blocks
+/// anyway). The vector-flavoured surface (`emplace_back`, `size`, indexing,
+/// range-for over `std::pair`) keeps every call site unchanged.
+class SackList {
+ public:
+  /// One [start, end) range. A plain aggregate (std::pair's assignment
+  /// operator is not trivial) with pair-compatible member names, so callers
+  /// use `.first`/`.second` or structured bindings interchangeably.
+  struct Block {
+    std::uint64_t first{0};
+    std::uint64_t second{0};
+    friend constexpr bool operator==(const Block&, const Block&) = default;
+  };
+  static constexpr std::size_t kCapacity = 3;
+
+  constexpr void clear() { count_ = 0; }
+  /// Append a block; silently drops beyond capacity, as a real TCP option
+  /// field would (callers cap at kMaxSackBlocks before appending).
+  constexpr void emplace_back(std::uint64_t start, std::uint64_t end) {
+    if (count_ < kCapacity) blocks_[count_++] = Block{start, end};
+  }
+  constexpr void push_back(const Block& b) { emplace_back(b.first, b.second); }
+
+  [[nodiscard]] constexpr std::size_t size() const { return count_; }
+  [[nodiscard]] constexpr bool empty() const { return count_ == 0; }
+  [[nodiscard]] constexpr const Block& operator[](std::size_t i) const { return blocks_[i]; }
+  [[nodiscard]] constexpr Block& operator[](std::size_t i) { return blocks_[i]; }
+  [[nodiscard]] constexpr const Block* begin() const { return blocks_.data(); }
+  [[nodiscard]] constexpr const Block* end() const { return blocks_.data() + count_; }
+
+  friend constexpr bool operator==(const SackList& a, const SackList& b) {
+    if (a.count_ != b.count_) return false;
+    for (std::size_t i = 0; i < a.count_; ++i) {
+      if (a.blocks_[i] != b.blocks_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<Block, kCapacity> blocks_{};
+  std::uint8_t count_{0};
+};
 
 /// Direction of travel relative to the viewer (client): Down = server->client.
 enum class Direction : std::uint8_t { kDown, kUp };
@@ -49,8 +95,9 @@ struct TcpSegment {
   /// the paper's analysis separated video from auxiliary traffic (§2).
   std::uint8_t host{0};
 
-  /// SACK option: up to 3 received-but-not-acked ranges [start, end).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+  /// SACK option: up to 3 received-but-not-acked ranges [start, end),
+  /// stored inline — segments are trivially copyable end to end.
+  SackList sack;
 
   static constexpr std::uint32_t kHeaderBytes = 40;   // IPv4 (20) + TCP (20)
   static constexpr std::size_t kMaxSackBlocks = 3;
@@ -63,5 +110,9 @@ struct TcpSegment {
   [[nodiscard]] bool has(TcpFlag f) const { return has_flag(flags, f); }
   [[nodiscard]] std::string flag_string() const;
 };
+
+// The whole point of the inline SACK list: a segment copy is a flat memcpy,
+// with no allocator round trip on links, taps or the recorder.
+static_assert(std::is_trivially_copyable_v<TcpSegment>);
 
 }  // namespace vstream::net

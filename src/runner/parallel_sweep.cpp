@@ -1,0 +1,66 @@
+// vstream-lint-file: allow(thread): src/runner is the one sanctioned home for threads — shared-nothing fan-out over independent session worlds.
+#include "runner/parallel_sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace vstream::runner {
+
+std::size_t job_count(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("VSTREAM_JOBS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ParallelSweep::ParallelSweep(std::size_t jobs) : jobs_{job_count(jobs)} {}
+
+void ParallelSweep::for_each_index(std::size_t count,
+                                   const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers = std::min(jobs_, count);
+  if (workers <= 1) {
+    // Serial path: no threads, identical to the historical sweep loop.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic work stealing off a shared counter: sessions vary a lot in cost
+  // (180 s Netflix worlds vs 30 s Flash clips), so static striping would
+  // leave workers idle at the tail.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();  // the caller's thread is worker 0
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<streaming::SessionResult> ParallelSweep::run_sessions(
+    const std::vector<streaming::SessionConfig>& configs) const {
+  return map<streaming::SessionResult>(
+      configs.size(), [&configs](std::size_t i) { return streaming::run_session(configs[i]); });
+}
+
+}  // namespace vstream::runner

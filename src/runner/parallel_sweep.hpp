@@ -1,0 +1,69 @@
+// Multi-core session fan-out: a shared-nothing thread pool for sweeps.
+//
+// The paper's results are sweep-scale statements — thousands of sessions
+// across service × container × application × vantage combos (Table 1, §2) —
+// and every session is an independent world: `run_session` builds its own
+// `Simulator`, `ObsContext`, RNG tree and TCP fabric from the config's
+// seed. `ParallelSweep` exploits exactly that: workers pull session indices
+// from a shared counter, run each world in complete isolation (no shared
+// mutable state, so no locks on any simulation path), and the results land
+// in deterministic submission order regardless of which worker finished
+// first or in what order. Merging (telemetry, metrics snapshots) stays
+// serial on the caller's thread.
+//
+// Worker count: explicit argument, else the VSTREAM_JOBS environment
+// variable, else the hardware concurrency; 1 runs inline on the caller's
+// thread (bit-identical to the historical serial path, no threads spawned).
+//
+// This is the only directory in the tree allowed to touch std::thread —
+// tools/vstream_lint.py enforces that simulation code stays single-threaded
+// per world, which is what keeps twin-run determinism auditable.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "streaming/session.hpp"
+
+namespace vstream::runner {
+
+/// Resolve the worker count: `requested` if nonzero, else VSTREAM_JOBS,
+/// else std::thread::hardware_concurrency (at least 1).
+[[nodiscard]] std::size_t job_count(std::size_t requested = 0);
+
+class ParallelSweep {
+ public:
+  /// `jobs == 0` resolves via job_count() (VSTREAM_JOBS / hardware).
+  explicit ParallelSweep(std::size_t jobs = 0);
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Invoke `fn(i)` for every i in [0, count), fanned across the pool's
+  /// workers. `fn` must be safe to call concurrently for distinct indices.
+  /// Blocks until every index completed; the first exception thrown by any
+  /// worker is rethrown here (remaining indices still drain).
+  void for_each_index(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+  /// Fan `fn(i)` out and collect the results in submission (index) order —
+  /// the order is a property of the indices, never of thread scheduling.
+  template <typename R, typename Fn>
+  [[nodiscard]] std::vector<R> map(std::size_t count, Fn&& fn) const {
+    std::vector<R> out(count);
+    for_each_index(count, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Run every session config on the pool; results in submission order.
+  /// Each worker instantiates one full world (Simulator + ObsContext + RNG)
+  /// per session — shared-nothing, so the per-session results, digests and
+  /// metrics snapshots are bit-identical to a serial run.
+  [[nodiscard]] std::vector<streaming::SessionResult> run_sessions(
+      const std::vector<streaming::SessionConfig>& configs) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace vstream::runner

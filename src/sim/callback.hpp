@@ -1,0 +1,145 @@
+// Small-buffer-optimized callable for the event hot path.
+//
+// `SimCallback` replaces `std::function<void()>` in the simulator's event
+// arena. The common capture shapes (`[this]`, `[this, segment, lost]`,
+// `[&order, i]`, ...) fit the 128-byte inline buffer, so scheduling an
+// event performs zero heap allocations; oversized or throwing-move captures
+// fall back to a single heap cell. Move-only by design — events are
+// dispatched exactly once, and the arena relocates callbacks between slots
+// by move, never by copy.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vstream::sim {
+
+class SimCallback {
+ public:
+  /// Inline capture budget. Sized so a lambda capturing `this` plus a full
+  /// `net::TcpSegment` (the busiest scheduling site, `net::Link`) stays on
+  /// the fast path.
+  static constexpr std::size_t kInlineBytes = 128;
+
+  SimCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, SimCallback> &&
+                                        std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit, like std::function
+  SimCallback(F&& f) {
+    emplace(std::forward<F>(f));
+  }
+
+  /// Construct the callable in place, destroying any held one first. This
+  /// is the zero-relocation scheduling path: the simulator's templated
+  /// schedule_at builds the closure directly inside its arena slot instead
+  /// of materializing a SimCallback temporary and moving it in.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, SimCallback> &&
+                                        std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (storage()) Fn(std::forward<F>(f));  // vstream-lint: allow(naked-new): placement new into the inline SBO buffer; lifetime managed by the ops table
+      ops_ = &InlineOps<Fn>::value;
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));  // vstream-lint: allow(naked-new): heap fallback cell owned by the ops table (freed in HeapOps::destroy)
+      ops_ = &HeapOps<Fn>::value;
+    }
+  }
+
+  SimCallback(SimCallback&& other) noexcept { move_from(other); }
+  SimCallback& operator=(SimCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SimCallback(const SimCallback&) = delete;
+  SimCallback& operator=(const SimCallback&) = delete;
+  ~SimCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage()); }
+
+  /// True when a callable is held (empty callbacks are rejected at the
+  /// scheduling boundary, mirroring the old std::function null check).
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (no heap cell).
+  /// Exposed for the pool tests and the engine microbench.
+  [[nodiscard]] bool stored_inline() const { return ops_ != nullptr && ops_->stored_inline; }
+
+  /// Destroy the held callable, returning to the empty state. A null
+  /// destroy op marks a trivially-destructible inline callable (the common
+  /// capture shapes), sparing the dispatch loop an indirect call per event.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  /// Compile-time answer: would `F` take the inline path?
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    using Fn = std::remove_cvref_t<F>;
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct the callable from `src` into `dst`, destroying `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool stored_inline;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* self(void* s) { return std::launder(static_cast<Fn*>(s)); }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      Fn* f = self(src);
+      ::new (dst) Fn(std::move(*f));  // vstream-lint: allow(naked-new): placement move into the destination SBO buffer during relocation
+      f->~Fn();
+    }
+    static void destroy(void* s) noexcept { self(s)->~Fn(); }
+    static constexpr Ops value{&invoke, &relocate,
+                               std::is_trivially_destructible_v<Fn> ? nullptr : &destroy, true};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* self(void* s) { return *std::launder(static_cast<Fn**>(s)); }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn*(self(src));  // vstream-lint: allow(naked-new): relocating the owning pointer cell, not allocating
+    }
+    static void destroy(void* s) noexcept {
+      delete self(s);  // vstream-lint: allow(naked-new): frees the heap fallback cell allocated in the converting constructor
+    }
+    static constexpr Ops value{&invoke, &relocate, &destroy, false};
+  };
+
+  void move_from(SimCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage(), storage());
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] void* storage() { return static_cast<void*>(storage_); }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace vstream::sim

@@ -9,37 +9,87 @@
 
 namespace vstream::sim {
 
-EventHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime at, SimCallback&& fn) {
   if (!fn) throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
-  VSTREAM_PRECONDITION(at >= now_, "no event may be scheduled in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
-  max_events_pending_ = std::max(max_events_pending_, queue_.size());
-  VSTREAM_POSTCONDITION(queue_.size() <= max_events_pending_,
-                        "queue-depth high-water mark must cover the live queue");
-  return EventHandle{cancelled};
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  return commit_schedule(at, slot);
 }
 
-EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule_after(Duration delay, SimCallback&& fn) {
   if (delay.is_negative()) delay = Duration::zero();
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_slots_.empty()) {
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    return slot;
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+EventHandle Simulator::commit_schedule(SimTime at, std::uint32_t slot) {
+  VSTREAM_PRECONDITION(at >= now_, "no event may be scheduled in the past");
+  Slot& s = slots_[slot];
+  queue_.push(QueueKey{at, next_seq_++, slot, s.generation});
+  ++live_events_;
+  max_events_pending_ = std::max(max_events_pending_, live_events_);
+  // Free-list integrity: every arena slot is either occupied by a live
+  // event, parked on the free list, or mid-dispatch (its callback executing
+  // in place) — a slot on two of these lists (double free) or on none
+  // (leak) breaks the recycling scheme.
+  VSTREAM_POSTCONDITION(free_slots_.size() + live_events_ + in_flight_ == slots_.size(),
+                        "arena slots must partition into free-list, live events, and in-flight");
+  return EventHandle{this, slot, s.generation};
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.generation;  // invalidates every outstanding handle and queue key
+  free_slots_.push_back(slot);
+  --live_events_;
+}
+
+void Simulator::cancel_event(std::uint32_t slot, std::uint32_t generation) {
+  if (!slot_live(slot, generation)) return;  // already fired or cancelled
+  slots_[slot].fn.reset();
+  release_slot(slot);
+  // The stale queue key stays behind; step()/run_until() discard it by
+  // generation mismatch when it reaches the top.
+}
+
 bool Simulator::step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const QueueKey key = queue_.top();
     queue_.pop();
-    if (*ev.cancelled) continue;
-    VSTREAM_INVARIANT(ev.at >= now_, "simulation clock must be monotonic");
-    now_ = ev.at;
+    Slot& s = slots_[key.slot];
+    if (s.generation != key.generation) continue;  // cancelled: stale key
+    VSTREAM_INVARIANT(key.at >= now_, "simulation clock must be monotonic");
+    now_ = key.at;
     ++events_processed_;
     if (digest_ != nullptr) {
       // Event order is the determinism signal: timestamp + FIFO sequence
       // uniquely identify the dispatch in a correct run.
-      digest_->mix_signed(ev.at.count_nanos());
-      digest_->mix(ev.seq);
+      digest_->mix_signed(key.at.count_nanos());
+      digest_->mix(key.seq);
     }
-    ev.fn();
+    // Invalidate the slot's tokens *before* invoking — a handle to the
+    // firing event held by the callback itself must already read as
+    // not-pending — but keep the slot off the free list until the callback
+    // returns: the closure executes in place in the arena (no move-out),
+    // so the slot must not be reassigned mid-invoke. Deque storage keeps
+    // the executing closure pinned even if the callback grows the arena.
+    ++s.generation;
+    --live_events_;
+    ++in_flight_;
+    s.fn();
+    s.fn.reset();
+    --in_flight_;
+    free_slots_.push_back(key.slot);
     return true;
   }
   return false;
@@ -48,12 +98,13 @@ bool Simulator::step() {
 std::uint64_t Simulator::run_until(SimTime limit) {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
-    // Skip cancelled events without advancing the clock.
-    if (*queue_.top().cancelled) {
+    // Discard stale keys of cancelled events without advancing the clock.
+    const QueueKey& top = queue_.top();
+    if (slots_[top.slot].generation != top.generation) {
       queue_.pop();
       continue;
     }
-    if (queue_.top().at > limit) break;
+    if (top.at > limit) break;
     if (step()) ++n;
   }
   if (now_ < limit) now_ = limit;

@@ -1,17 +1,22 @@
 // Discrete-event simulation engine.
 //
-// A `Simulator` owns a time-ordered event queue. Components schedule
-// callbacks at absolute or relative times; `run()` drains the queue in
-// timestamp order (FIFO among equal timestamps). Scheduled events can be
-// cancelled through the returned `EventHandle` without touching the heap.
+// A `Simulator` owns a time-ordered event queue built on a slot-pool event
+// arena: callbacks live in a recycled slot vector (SBO storage, see
+// sim/callback.hpp), the priority queue orders lightweight {time, seq, slot}
+// keys, and `EventHandle` is a {slot, generation} token — no refcounts, no
+// atomics, no per-event heap traffic. Components schedule callbacks at
+// absolute or relative times; `run()` drains the queue in timestamp order
+// (FIFO among equal timestamps). Cancellation bumps the slot's generation,
+// so the stale queue key is discarded lazily at pop time and a recycled
+// slot's new occupant is immune to old handles.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <deque>
 #include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace vstream::check {
@@ -24,31 +29,37 @@ class ObsContext;
 
 namespace vstream::sim {
 
-/// Cancellation token for a scheduled event. Default-constructed handles are
-/// inert; `cancel()` on an already-fired or cancelled event is a no-op.
+class Simulator;
+
+/// Cancellation token for a scheduled event: the event's arena slot plus the
+/// generation the slot had when the event was scheduled. Default-constructed
+/// handles are inert; `cancel()` on an already-fired or cancelled event is a
+/// no-op, and a handle left over from a recycled slot can never touch the
+/// slot's new occupant (the generation no longer matches).
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevent the event from firing. Safe to call at any time.
-  void cancel() {
-    if (auto p = state_.lock()) *p = true;
-  }
+  inline void cancel();
 
   /// True while the event is still scheduled and not cancelled.
-  [[nodiscard]] bool pending() const {
-    auto p = state_.lock();
-    return p != nullptr && !*p;
-  }
+  [[nodiscard]] inline bool pending() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> state) : state_{std::move(state)} {}
-  std::weak_ptr<bool> state_;  // points at the "cancelled" flag
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
+      : sim_{sim}, slot_{slot}, generation_{generation} {}
+
+  Simulator* sim_{nullptr};
+  std::uint32_t slot_{0};
+  std::uint32_t generation_{0};
 };
 
 class Simulator {
  public:
+  using Handle = EventHandle;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -57,10 +68,32 @@ class Simulator {
 
   /// Schedule `fn` to run at absolute time `at`. Scheduling into the past
   /// is a contract violation (use schedule_after for clamping semantics).
-  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+  /// The closure is constructed directly inside its arena slot — the
+  /// scheduling path performs zero SimCallback relocations and, for the
+  /// common capture shapes, zero heap allocations.
+  template <typename Fn,
+            typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Fn>, SimCallback> &&
+                                        std::is_invocable_r_v<void, std::remove_cvref_t<Fn>&>>>
+  EventHandle schedule_at(SimTime at, Fn&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].fn.emplace(std::forward<Fn>(fn));
+    return commit_schedule(at, slot);
+  }
+
+  /// Overload for a pre-built (possibly empty) SimCallback. Empty callbacks
+  /// are rejected here, mirroring the old std::function null check.
+  EventHandle schedule_at(SimTime at, SimCallback&& fn);
 
   /// Schedule `fn` to run `delay` from now. Negative delays clamp to now.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  template <typename Fn,
+            typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Fn>, SimCallback> &&
+                                        std::is_invocable_r_v<void, std::remove_cvref_t<Fn>&>>>
+  EventHandle schedule_after(Duration delay, Fn&& fn) {
+    if (delay.is_negative()) delay = Duration::zero();
+    return schedule_at(now_ + delay, std::forward<Fn>(fn));
+  }
+
+  EventHandle schedule_after(Duration delay, SimCallback&& fn);
 
   /// Run events until the queue is empty or `limit` is reached (events at
   /// exactly `limit` still run). Returns the number of events processed.
@@ -72,11 +105,17 @@ class Simulator {
   /// Process a single event if one is pending. Returns false when idle.
   bool step();
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool idle() const { return live_events_ == 0; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
-  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+  /// Live (scheduled, not cancelled) events.
+  [[nodiscard]] std::size_t events_pending() const { return live_events_; }
   /// Queue-depth high-water mark over the simulator's lifetime.
   [[nodiscard]] std::size_t max_events_pending() const { return max_events_pending_; }
+
+  /// Arena introspection (pool tests, engine microbench): total slots ever
+  /// created and slots currently on the free list.
+  [[nodiscard]] std::size_t arena_slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t arena_free_slots() const { return free_slots_.size(); }
 
   /// Attach (or clear, with nullptr) this world's observability context.
   /// The simulator does not own it; instrumented components reach it via
@@ -93,26 +132,72 @@ class Simulator {
   [[nodiscard]] check::StateDigest* digest() const { return digest_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// One arena slot. `generation` identifies the current occupant; it is
+  /// bumped whenever the slot is released (fire or cancel), which atomizes
+  /// invalidation of every outstanding handle and queue key in O(1).
+  struct Slot {
+    SimCallback fn;
+    std::uint32_t generation{0};
+  };
+
+  /// Priority-queue key: 24 trivially-copyable bytes. The callback stays in
+  /// the arena, so heap reshuffles and `pop()` never touch a closure.
+  struct QueueKey {
     SimTime at;
     std::uint64_t seq{0};  // FIFO tie-break among equal timestamps
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot{0};
+    std::uint32_t generation{0};
   };
+  /// Min-first ordering on (at, seq). The keys are trivially copyable and
+  /// 24 bytes, so heap sifts are straight memcpy traffic and never touch a
+  /// closure; a measured 4-ary replacement heap lost ~35% to libstdc++'s
+  /// __adjust_heap at realistic queue depths, so the standard container
+  /// stays.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueKey& a, const QueueKey& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  [[nodiscard]] bool slot_live(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+  void cancel_event(std::uint32_t slot, std::uint32_t generation);
+  /// Release a slot back to the free list, invalidating outstanding tokens.
+  void release_slot(std::uint32_t slot);
+  /// Pop a slot off the free list (or grow the arena) for a new event.
+  [[nodiscard]] std::uint32_t acquire_slot();
+  /// Push the queue key for an acquired+filled slot and hand back its token.
+  EventHandle commit_schedule(SimTime at, std::uint32_t slot);
+
+  std::priority_queue<QueueKey, std::vector<QueueKey>, Later> queue_;
+  /// Deque, not vector: growing the arena must never move existing slots,
+  /// because the firing callback executes in place in its slot (step()) and
+  /// may itself schedule new events that extend the arena.
+  std::deque<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;  // LIFO: hot slots stay cache-warm
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
   std::uint64_t events_processed_{0};
+  std::size_t live_events_{0};
+  /// Slots whose callback is currently executing in place: released from
+  /// the live count (handles must read not-pending during the callback) but
+  /// not yet recycled onto the free list. 0 or 1 outside nested dispatch.
+  std::size_t in_flight_{0};
   std::size_t max_events_pending_{0};
   obs::ObsContext* obs_{nullptr};
   check::StateDigest* digest_{nullptr};
 };
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_event(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->slot_live(slot_, generation_);
+}
 
 }  // namespace vstream::sim

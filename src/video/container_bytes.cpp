@@ -69,9 +69,10 @@ void put_amf_number_entry(std::vector<std::uint8_t>& out, const std::string& key
 }  // namespace
 
 std::vector<std::uint8_t> write_flv_header(const VideoMeta& video) {
-  std::vector<std::uint8_t> out;
-  // FLV file header.
-  out.insert(out.end(), {'F', 'L', 'V', 0x01, 0x01});  // version 1, video-only
+  // FLV file header. Built by direct construction rather than insert():
+  // GCC 12's -O3 stringop-overflow analysis misfires on initializer-list
+  // insert into an empty vector's reallocation path.
+  std::vector<std::uint8_t> out{'F', 'L', 'V', 0x01, 0x01};  // version 1, video-only
   put_u32be(out, 9);                                   // header size
   put_u32be(out, 0);                                   // PreviousTagSize0
 

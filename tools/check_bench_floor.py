@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fail CI when bench_engine regresses against the checked-in perf floor.
+
+Usage:
+    check_bench_floor.py BENCH_engine.json bench/engine_floor.json
+
+Reads the telemetry JSON written by `bench_engine --metrics-out` and compares
+every metric named in the floor file's "metrics" object against its floor:
+a metric fails when `measured < floor * (1 - tolerance)`. Metrics missing
+from the telemetry's "extra" object fail too — silently losing a measurement
+is itself a regression in the perf harness.
+
+Exit status: 0 when every metric clears its floor, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    with open(argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+    with open(argv[2], encoding="utf-8") as f:
+        floor_spec = json.load(f)
+
+    extra = report.get("extra", {})
+    tolerance = float(floor_spec.get("tolerance", 0.0))
+    failures = []
+
+    for name, floor in sorted(floor_spec["metrics"].items()):
+        threshold = float(floor) * (1.0 - tolerance)
+        measured = extra.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from telemetry extra block")
+            continue
+        verdict = "ok" if measured >= threshold else "REGRESSED"
+        print(
+            f"{name:45s} measured={measured:16.1f} floor={float(floor):16.1f} "
+            f"threshold={threshold:16.1f} {verdict}"
+        )
+        if measured < threshold:
+            failures.append(
+                f"{name}: {measured:.1f} below threshold {threshold:.1f} "
+                f"(floor {float(floor):.1f}, tolerance {tolerance:.0%})"
+            )
+
+    if failures:
+        print("\nperf floor check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

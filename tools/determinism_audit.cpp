@@ -10,13 +10,18 @@
 //   ./build/tools/determinism_audit --seconds 30   # shorter capture window
 //   ./build/tools/determinism_audit --canary       # prove the audit detects
 //                                                  # seeded unordered-map order
+//   ./build/tools/determinism_audit --jobs 4       # serial vs ParallelSweep:
+//                                                  # per-session digests must
+//                                                  # match bit-for-bit
 //
 // Exit status: 0 when every twin run agrees (and the canary diverges as
 // designed); 1 on any divergence (or a canary the audit failed to catch).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
+#include "runner/parallel_sweep.hpp"
 #include "sim/determinism_canary.hpp"
 #include "streaming/scenarios.hpp"
 
@@ -43,22 +48,56 @@ int run_canary() {
   return 0;
 }
 
+/// Parallel-engine audit: every catalog scenario runs once serially and once
+/// under a ParallelSweep with `jobs` workers. The per-session worlds are
+/// shared-nothing, so the fingerprints (event-order digest + TCP state
+/// snapshots + headline results) must match bit-for-bit; any divergence
+/// means threading leaked into a simulation path.
+int run_parallel_audit(double seconds, std::size_t jobs) {
+  const auto scenarios = vstream::streaming::canonical_scenarios(seconds);
+  std::vector<vstream::streaming::RunFingerprint> serial;
+  serial.reserve(scenarios.size());
+  for (const auto& scenario : scenarios) {
+    serial.push_back(vstream::streaming::fingerprint_session(scenario.config));
+  }
+  const vstream::runner::ParallelSweep pool{jobs};
+  const auto parallel = pool.map<vstream::streaming::RunFingerprint>(
+      scenarios.size(), [&scenarios](std::size_t i) {
+        return vstream::streaming::fingerprint_session(scenarios[i].config);
+      });
+  int divergent = 0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const bool same = serial[i] == parallel[i];
+    std::printf("%-40s serial=%016llx parallel=%016llx %s\n", scenarios[i].name.c_str(),
+                static_cast<unsigned long long>(serial[i].digest),
+                static_cast<unsigned long long>(parallel[i].digest), same ? "ok" : "DIVERGED");
+    if (!same) ++divergent;
+  }
+  std::printf("%zu scenarios under %zu workers, %d divergent\n", scenarios.size(), pool.jobs(),
+              divergent);
+  return divergent == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double seconds = 180.0;
   bool canary = false;
+  std::size_t jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--canary") == 0) {
       canary = true;
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: determinism_audit [--seconds N] [--canary]\n");
+      std::fprintf(stderr, "usage: determinism_audit [--seconds N] [--canary] [--jobs N]\n");
       return 2;
     }
   }
   if (canary) return run_canary();
+  if (jobs > 0) return run_parallel_audit(seconds, jobs);
 
   const auto scenarios = vstream::streaming::canonical_scenarios(seconds);
   int divergent = 0;

@@ -18,6 +18,13 @@ Rules (all scoped to C++ sources):
                builds would not run it. Use the VSTREAM_* contract macros
                (src/check/contracts.hpp). static_assert is fine.
                Scope: src/, examples/, tools/, bench/.
+  thread       no std::thread / std::jthread / std::async / <thread> /
+               <future> outside src/runner — each simulated world is
+               single-threaded by construction (that is what makes twin-run
+               determinism auditable), and all fan-out goes through
+               runner::ParallelSweep, which parallelises across whole
+               worlds, never inside one.
+               Scope: src/, examples/, tools/, bench/; src/runner/ exempt.
 
 Waivers: append `// vstream-lint: allow(<rule>): <reason>` to the offending
 line, or put `// vstream-lint-file: allow(<rule>): <reason>` anywhere in the
@@ -75,6 +82,21 @@ RULES = {
         "bare assert() vanishes under NDEBUG; use VSTREAM_INVARIANT / _PRECONDITION",
         ("src", "examples", "tools", "bench"),
     ),
+    "thread": (
+        re.compile(
+            r"std::(?:jthread|thread|async)\b"
+            r"|#\s*include\s*<(?:thread|future)>"
+        ),
+        "threads outside src/runner; per-world code is single-threaded — fan out via runner::ParallelSweep",
+        ("src", "examples", "tools", "bench"),
+    ),
+}
+
+# rule -> path prefixes (relative to the repo root) where it does not apply.
+# src/runner is the one sanctioned home for threads: it parallelises across
+# whole simulated worlds and never shares state inside one.
+RULE_EXEMPT_PREFIXES = {
+    "thread": (("src", "runner"),),
 }
 
 COMMENT_ONLY = re.compile(r"^\s*(//|\*|/\*)")
@@ -105,6 +127,9 @@ def lint_file(path: Path, root: Path) -> list[str]:
             code = code.replace("static_assert", "")
         for rule, (pattern, message, scopes) in RULES.items():
             if top not in scopes or rule in waived:
+                continue
+            exempt = RULE_EXEMPT_PREFIXES.get(rule, ())
+            if any(rel.parts[: len(prefix)] == prefix for prefix in exempt):
                 continue
             if pattern.search(code):
                 findings.append(f"{rel}:{lineno}: [{rule}] {message}\n    {line.strip()}")
