@@ -148,8 +148,8 @@ void print_cdf_table(const std::vector<std::pair<std::string, stats::EmpiricalCd
   }
 }
 
-void print_download_curve(const std::string& label, const capture::PacketTrace& trace,
-                          double t_max_s, double step_s) {
+void print_download_curve(const std::string& label, capture::TraceView trace, double t_max_s,
+                          double step_s) {
   const auto curve = trace.download_curve();
   if (const auto dir = csv_dir(); !dir.empty()) {
     std::ofstream out{dir + "/curve_" + sanitize_for_filename(label) + ".csv"};
@@ -170,7 +170,7 @@ void print_download_curve(const std::string& label, const capture::PacketTrace& 
   }
 }
 
-void print_window_summary(const std::string& label, const capture::PacketTrace& trace) {
+void print_window_summary(const std::string& label, capture::TraceView trace) {
   const auto series = trace.receive_window_series();
   if (series.empty()) {
     std::printf("%s: no window samples\n", label.c_str());
@@ -246,7 +246,7 @@ void RunTelemetry::init(const std::string& name, int* argc, char** argv) {
 void RunTelemetry::record(const SessionOutcome& outcome) {
   if (!enabled()) return;
   ++sessions_;
-  sim_time_s_ += outcome.result.full_trace.duration_s;
+  sim_time_s_ += outcome.result.trace.duration_s;
   sim_events_ += outcome.result.sim_events;
   sim_max_events_pending_ = std::max(sim_max_events_pending_, outcome.result.sim_max_events_pending);
   block_sizes_bytes_.insert(block_sizes_bytes_.end(), outcome.analysis.block_sizes_bytes.begin(),

@@ -17,6 +17,7 @@
 
 #include "analysis/onoff.hpp"
 #include "analysis/strategy.hpp"
+#include "capture/trace_view.hpp"
 #include "net/profile.hpp"
 #include "obs/metrics.hpp"
 #include "runner/parallel_sweep.hpp"
@@ -78,12 +79,13 @@ void print_cdf(const std::string& label, const stats::EmpiricalCdf& cdf,
 void print_cdf_table(const std::vector<std::pair<std::string, stats::EmpiricalCdf>>& cdfs,
                      const std::string& unit, double scale = 1.0);
 
-/// Print a download-amount curve (t, MB) at a fixed time step.
-void print_download_curve(const std::string& label, const capture::PacketTrace& trace,
-                          double t_max_s, double step_s = 1.0);
+/// Print a download-amount curve (t, MB) at a fixed time step. Takes a
+/// zero-copy view; plain `PacketTrace` converts implicitly.
+void print_download_curve(const std::string& label, capture::TraceView trace, double t_max_s,
+                          double step_s = 1.0);
 
 /// Print the receive-window series summary (Fig 2b / 6a style).
-void print_window_summary(const std::string& label, const capture::PacketTrace& trace);
+void print_window_summary(const std::string& label, capture::TraceView trace);
 
 /// Directory for CSV side-output (VSTREAM_BENCH_CSV_DIR), empty if unset.
 [[nodiscard]] std::string csv_dir();

@@ -91,6 +91,10 @@ int main(int argc, char** argv) {
       cfg.video.container = video::Container::kFlash;
       cfg.capture_duration_s = 30.0;
       cfg.seed = 7000 + i;
+      // Only aggregate outputs are read below: run the single-pass analysis
+      // during capture and store no packets — memory stays O(1) per session.
+      cfg.store_trace = false;
+      cfg.streaming_report = true;
     }
     const runner::ParallelSweep pool;
     const auto sessions = pool.run_sessions(configs);

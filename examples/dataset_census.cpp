@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "analysis/strategy.hpp"
 #include "runner/parallel_sweep.hpp"
 #include "stats/descriptive.hpp"
 #include "streaming/session.hpp"
@@ -94,13 +95,18 @@ int main(int argc, char** argv) {
       cfg.container = cfg.video.container;
       cfg.capture_duration_s = 20.0;
       cfg.seed = 100 * static_cast<std::uint64_t>(id) + i;
+      // The census only reads aggregate outputs, so skip packet storage and
+      // let the streaming pipeline build the report during capture.
+      cfg.store_trace = false;
+      cfg.streaming_report = true;
       configs.push_back(cfg);
     }
   }
   const runner::ParallelSweep pool;
   const auto sessions = pool.run_sessions(configs);
   std::printf("%zu sessions across %zu workers\n", sessions.size(), pool.jobs());
-  std::printf("%-9s %10s %12s %12s\n", "dataset", "down MB", "est. Mbps", "connections");
+  std::printf("%-9s %10s %12s %12s  %s\n", "dataset", "down MB", "est. Mbps", "connections",
+              "strategy (first)");
   for (std::size_t d = 0; d < ids.size(); ++d) {
     double mb = 0.0;
     double mbps = 0.0;
@@ -111,9 +117,11 @@ int main(int argc, char** argv) {
       mbps += s.encoding_bps_estimated / 1e6;
       connections += s.connections;
     }
-    std::printf("%-9s %10.2f %12.2f %12.1f\n", video::to_string(ids[d]).c_str(),
+    const auto& first = sessions[d * kPerDataset];
+    std::printf("%-9s %10.2f %12.2f %12.1f  %s\n", video::to_string(ids[d]).c_str(),
                 mb / kPerDataset, mbps / kPerDataset,
-                static_cast<double>(connections) / kPerDataset);
+                static_cast<double>(connections) / kPerDataset,
+                first.report ? analysis::to_string(first.report->strategy).c_str() : "-");
   }
   return 0;
 }

@@ -5,8 +5,12 @@
 // taken at the viewer side (the down direction is detected by which peer
 // sends the bulk of the payload).
 //
-// Usage: pcap_analyzer [--json] [--flows] [--dump] [--metrics out.json] <file.pcap>
-//        [encoding_rate_mbps]
+// Usage: pcap_analyzer [--json] [--flows] [--dump] [--stream]
+//        [--metrics out.json] <file.pcap> [encoding_rate_mbps]
+//
+// --stream runs the single-pass analysis pipeline over the file without
+// materialising the trace: memory stays O(1) in the capture length and the
+// report is field-identical to the default batch path.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +22,7 @@
 #include "analysis/onoff.hpp"
 #include "analysis/report.hpp"
 #include "analysis/report_json.hpp"
+#include "analysis/streaming_report.hpp"
 #include "capture/dump.hpp"
 #include "capture/pcap.hpp"
 #include "obs/metrics.hpp"
@@ -51,6 +56,37 @@ bool write_metrics(const std::string& path, const vstream::capture::PacketTrace&
   return true;
 }
 
+/// --stream: one pass over the file, O(1) memory. Foreign captures need the
+/// same direction heuristic as the batch path, but the decision (which peer
+/// sends the bulk of the payload) is only known at EOF — so two builders
+/// consume the stream, one as-is and one with directions flipped, and the
+/// totals pick the winner when the file ends.
+vstream::analysis::SessionReport stream_report(const std::string& path,
+                                               const vstream::analysis::ReportOptions& options) {
+  using namespace vstream;
+  analysis::StreamingReportBuilder as_is{options};
+  analysis::StreamingReportBuilder flipped{options};
+  std::uint64_t down_payload = 0;
+  std::uint64_t up_payload = 0;
+  double t_first = 0.0;
+  double t_last = 0.0;
+  bool any = false;
+  capture::for_each_pcap_record(path, [&](const capture::PacketRecord& r) {
+    if (!any) t_first = r.t_s;
+    any = true;
+    t_last = r.t_s;
+    (r.direction == net::Direction::kDown ? down_payload : up_payload) += r.payload_bytes;
+    as_is.add(r);
+    capture::PacketRecord mirrored = r;
+    mirrored.direction = net::opposite(r.direction);
+    flipped.add(mirrored);
+  });
+  auto& chosen = up_payload > down_payload ? flipped : as_is;
+  chosen.set_label(path);
+  chosen.set_duration_s(any ? t_last - t_first : 0.0);
+  return chosen.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +94,7 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool with_flows = false;
   bool dump = false;
+  bool stream = false;
   std::string metrics_path;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
@@ -67,6 +104,8 @@ int main(int argc, char** argv) {
       with_flows = true;
     } else if (std::strcmp(argv[arg], "--dump") == 0) {
       dump = true;
+    } else if (std::strcmp(argv[arg], "--stream") == 0) {
+      stream = true;
     } else if (std::strcmp(argv[arg], "--metrics") == 0 && arg + 1 < argc) {
       metrics_path = argv[++arg];
     } else {
@@ -77,13 +116,34 @@ int main(int argc, char** argv) {
   }
   if (arg >= argc) {
     std::fprintf(stderr,
-                 "usage: %s [--json] [--flows] [--dump] [--metrics out.json] <file.pcap> "
-                 "[encoding_rate_mbps]\n",
+                 "usage: %s [--json] [--flows] [--dump] [--stream] [--metrics out.json] "
+                 "<file.pcap> [encoding_rate_mbps]\n",
                  argv[0]);
     return 2;
   }
   argv += arg - 1;
   argc -= arg - 1;
+
+  if (stream) {
+    if (with_flows || dump || !metrics_path.empty()) {
+      std::fprintf(stderr, "--stream produces the report only; drop --flows/--dump/--metrics\n");
+      return 2;
+    }
+    analysis::ReportOptions options;
+    if (argc > 2) options.encoding_bps = std::atof(argv[2]) * 1e6;
+    try {
+      const auto report = stream_report(argv[1], options);
+      if (as_json) {
+        std::printf("{\"report\":%s}\n", analysis::to_json(report).c_str());
+      } else {
+        std::fputs(report.render().c_str(), stdout);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
 
   capture::PacketTrace trace;
   try {

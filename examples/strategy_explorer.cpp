@@ -140,15 +140,18 @@ int main(int argc, char** argv) {
 
   if (sweep_count > 0) return run_sweep(sweep_count, cfg);
 
+  // Keep the auxiliary hosts in the capture so the filtered-out traffic can
+  // be reported; the analysis below runs on the zero-copy video view.
+  cfg.keep_full_trace = true;
   const auto result = streaming::run_session(cfg);
-  const auto analysis = analysis::analyze_on_off(result.trace);
-  const auto decision = analysis::classify_strategy(analysis, result.trace);
+  const auto video = result.video_trace();
+  const auto analysis = analysis::analyze_on_off(video);
+  const auto decision = analysis::classify_strategy(analysis, video);
 
   std::printf("session              : %s\n", result.trace.label.c_str());
   std::printf("strategy             : %s ON-OFF (%s)\n",
               analysis::to_string(decision.strategy).c_str(), decision.rationale.c_str());
-  std::printf("packets / connections: %zu / %zu\n", result.trace.packets.size(),
-              result.connections);
+  std::printf("packets / connections: %zu / %zu\n", video.count(), result.connections);
   std::printf("downloaded           : %.2f MB in %.0f s\n",
               result.bytes_downloaded / 1048576.0, cfg.capture_duration_s);
   std::printf("buffering            : %.2f MB, ends %.2f s\n",
@@ -162,21 +165,19 @@ int main(int argc, char** argv) {
                 result.encoding_bps_estimated / 1e6);
   }
   std::printf("retransmissions      : %.2f%% of down bytes\n",
-              result.trace.retransmission_fraction() * 100.0);
-  std::printf("zero-window episodes : %zu\n",
-              analysis::count_zero_window_episodes(result.trace));
-  if (const auto rtt = analysis::estimate_handshake_rtt(result.trace)) {
+              video.retransmission_fraction() * 100.0);
+  std::printf("zero-window episodes : %zu\n", analysis::count_zero_window_episodes(video));
+  if (const auto rtt = analysis::estimate_handshake_rtt(video)) {
     std::printf("handshake RTT        : %.1f ms\n", *rtt * 1000.0);
   }
   std::printf("player               : started %.2f s, watched %.1f s, %u stalls\n",
               result.player.start_time_s, result.player.watched_s, result.player.stall_count);
   std::printf("auxiliary traffic    : %.2f MB over %zu extra connections (filtered out above)\n",
-              (result.full_trace.down_payload_bytes() - result.trace.down_payload_bytes()) /
-                  1048576.0,
-              result.full_trace.connection_count() - result.trace.connection_count());
+              (result.trace.down_payload_bytes() - video.down_payload_bytes()) / 1048576.0,
+              result.trace.connection_count() - video.connection_count());
 
   if (result.connections > 3) {
-    const auto flows = analysis::build_flow_table(result.trace);
+    const auto flows = analysis::build_flow_table(video);
     std::printf("\nper-connection video flows (first 12):\n");
     auto text = flows.render();
     std::size_t lines = 0;
@@ -190,8 +191,9 @@ int main(int argc, char** argv) {
 
   if (argc > 7) {
     const std::string pcap_path = argv[7];
-    capture::write_pcap(result.trace, pcap_path);
-    capture::write_packets_csv(result.trace, pcap_path + ".csv");
+    const auto video_owned = video.materialize();
+    capture::write_pcap(video_owned, pcap_path);
+    capture::write_packets_csv(video_owned, pcap_path + ".csv");
     std::printf("capture written      : %s (+.csv)\n", pcap_path.c_str());
     // Round-trip sanity: the analysis runs identically on the file.
     const auto reloaded = capture::read_pcap(pcap_path);

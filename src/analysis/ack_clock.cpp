@@ -2,30 +2,19 @@
 
 #include <stdexcept>
 
+#include "analysis/accumulators.hpp"
+
 namespace vstream::analysis {
 
-std::optional<double> estimate_handshake_rtt(const capture::PacketTrace& trace) {
+std::optional<double> estimate_handshake_rtt(capture::TraceView trace) {
   // Viewer-side capture: the client SYN appears on the up direction, the
   // SYN-ACK on the down direction. Match per connection id.
-  for (const auto& syn : trace.packets) {
-    if (syn.direction != net::Direction::kUp || !net::has_flag(syn.flags, net::TcpFlag::kSyn) ||
-        net::has_flag(syn.flags, net::TcpFlag::kAck)) {
-      continue;
-    }
-    for (const auto& synack : trace.packets) {
-      if (synack.t_s < syn.t_s) continue;
-      if (synack.direction == net::Direction::kDown &&
-          synack.connection_id == syn.connection_id &&
-          net::has_flag(synack.flags, net::TcpFlag::kSyn) &&
-          net::has_flag(synack.flags, net::TcpFlag::kAck)) {
-        return synack.t_s - syn.t_s;
-      }
-    }
-  }
-  return std::nullopt;
+  HandshakeRttTracker tracker;
+  for (const auto& p : trace) tracker.add(p);
+  return tracker.rtt_s();
 }
 
-std::vector<double> first_rtt_bytes(const capture::PacketTrace& trace,
+std::vector<double> first_rtt_bytes(capture::TraceView trace,
                                     const OnOffAnalysis& analysis,
                                     const AckClockOptions& options) {
   double rtt = 0.0;
@@ -45,7 +34,7 @@ std::vector<double> first_rtt_bytes(const capture::PacketTrace& trace,
     const auto& on = analysis.on_periods[i];
     const double window_end = on.start_s + rtt;
     std::uint64_t bytes = 0;
-    for (const auto& p : trace.packets) {
+    for (const auto& p : trace) {
       if (p.direction != net::Direction::kDown || p.payload_bytes == 0) continue;
       if (p.t_s < on.start_s) continue;
       if (p.t_s >= window_end) break;

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "analysis/onoff.hpp"
-#include "capture/trace.hpp"
+#include "capture/trace_view.hpp"
 
 namespace vstream::analysis {
 
@@ -28,12 +28,13 @@ struct AckClockOptions {
 };
 
 /// Estimate the RTT from the first SYN/SYN-ACK pair in the trace. Returns
-/// nullopt when the trace holds no complete handshake.
-[[nodiscard]] std::optional<double> estimate_handshake_rtt(const capture::PacketTrace& trace);
+/// nullopt when the trace holds no complete handshake. Implemented over the
+/// online `HandshakeRttTracker` — one pass, not the seed's quadratic scan.
+[[nodiscard]] std::optional<double> estimate_handshake_rtt(capture::TraceView trace);
 
 /// Bytes received within the first RTT of each qualifying ON period (the
 /// samples behind the Fig 9 CDF).
-[[nodiscard]] std::vector<double> first_rtt_bytes(const capture::PacketTrace& trace,
+[[nodiscard]] std::vector<double> first_rtt_bytes(capture::TraceView trace,
                                                   const OnOffAnalysis& analysis,
                                                   const AckClockOptions& options = {});
 

@@ -2,56 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
+
+#include "analysis/accumulators.hpp"
 
 namespace vstream::analysis {
 
-FlowTable build_flow_table(const capture::PacketTrace& trace) {
-  std::map<std::uint64_t, FlowRecord> by_id;
-  std::map<std::uint64_t, double> syn_time;
-
-  for (const auto& p : trace.packets) {
-    auto [it, inserted] = by_id.try_emplace(p.connection_id);
-    FlowRecord& f = it->second;
-    if (inserted) {
-      f.connection_id = p.connection_id;
-      f.first_packet_s = p.t_s;
-    }
-    f.last_packet_s = p.t_s;
-
-    const bool syn = net::has_flag(p.flags, net::TcpFlag::kSyn);
-    const bool ack = net::has_flag(p.flags, net::TcpFlag::kAck);
-    if (syn) f.saw_syn = true;
-    if (net::has_flag(p.flags, net::TcpFlag::kFin)) f.saw_fin = true;
-
-    if (p.direction == net::Direction::kUp && syn && !ack) {
-      syn_time[p.connection_id] = p.t_s;
-    }
-    if (p.direction == net::Direction::kDown && syn && ack &&
-        !f.handshake_rtt_s.has_value()) {
-      if (const auto t0 = syn_time.find(p.connection_id); t0 != syn_time.end()) {
-        f.handshake_rtt_s = p.t_s - t0->second;
-      }
-    }
-
-    if (p.direction == net::Direction::kDown) {
-      f.down_payload_bytes += p.payload_bytes;
-      ++f.down_packets;
-      if (p.is_retransmission) f.retransmitted_bytes += p.payload_bytes;
-    } else {
-      f.up_payload_bytes += p.payload_bytes;
-      ++f.up_packets;
-    }
-  }
-
-  FlowTable table;
-  table.flows.reserve(by_id.size());
-  for (auto& [id, flow] : by_id) table.flows.push_back(flow);
-  std::sort(table.flows.begin(), table.flows.end(),
-            [](const FlowRecord& a, const FlowRecord& b) {
-              return a.first_packet_s < b.first_packet_s;
-            });
-  return table;
+FlowTable build_flow_table(capture::TraceView trace) {
+  FlowAccumulator acc;
+  for (const auto& p : trace) acc.add(p);
+  return acc.finish();
 }
 
 const FlowRecord* FlowTable::find(std::uint64_t connection_id) const {

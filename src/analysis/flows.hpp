@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "capture/trace.hpp"
+#include "capture/trace_view.hpp"
 
 namespace vstream::analysis {
 
@@ -55,6 +55,8 @@ struct FlowTable {
   [[nodiscard]] std::string render() const;
 };
 
-[[nodiscard]] FlowTable build_flow_table(const capture::PacketTrace& trace);
+/// Implemented as a walk feeding a `FlowAccumulator`, so the batch and
+/// streaming paths share one per-flow state machine.
+[[nodiscard]] FlowTable build_flow_table(capture::TraceView trace);
 
 }  // namespace vstream::analysis

@@ -1,7 +1,6 @@
 #include "analysis/onoff.hpp"
 
-#include <stdexcept>
-
+#include "analysis/accumulators.hpp"
 #include "stats/descriptive.hpp"
 
 namespace vstream::analysis {
@@ -50,75 +49,16 @@ double OnOffAnalysis::max_off_s() const {
   return stats::max(off_durations_s);
 }
 
-OnOffAnalysis analyze_on_off(const capture::PacketTrace& trace, const OnOffOptions& options) {
-  if (options.gap_threshold_s <= 0.0) {
-    throw std::invalid_argument{"analyze_on_off: gap threshold must be positive"};
-  }
-  OnOffAnalysis out;
-
-  // Walk down-direction data packets, splitting at idle gaps.
-  bool in_period = false;
-  OnPeriod current;
-  for (const auto& p : trace.packets) {
-    if (p.direction != net::Direction::kDown || p.payload_bytes == 0) continue;
-    out.total_bytes += p.payload_bytes;
-    if (p.payload_bytes < options.min_data_payload_bytes) continue;  // probes
-    if (!in_period) {
-      in_period = true;
-      current = OnPeriod{p.t_s, p.t_s, p.payload_bytes, 1};
-      out.first_packet_s = p.t_s;
-    } else if (p.t_s - current.end_s > options.gap_threshold_s) {
-      out.off_durations_s.push_back(p.t_s - current.end_s);
-      out.on_periods.push_back(current);
-      current = OnPeriod{p.t_s, p.t_s, p.payload_bytes, 1};
-    } else {
-      current.end_s = p.t_s;
-      current.bytes += p.payload_bytes;
-      ++current.packets;
-    }
-    out.last_packet_s = p.t_s;
-  }
-  if (in_period) out.on_periods.push_back(current);
-
-  if (out.on_periods.empty()) return out;
-
-  // Buffering phase: everything before the first OFF period. With no OFF
-  // period at all, the whole capture is one buffering phase (no steady
-  // state) — the "no ON-OFF cycles" strategy.
-  const OnPeriod& first = out.on_periods.front();
-  out.buffering_bytes = first.bytes;
-  out.buffering_end_s = first.end_s;
-
-  if (out.has_steady_state()) {
-    const double steady_span = out.last_packet_s - out.buffering_end_s;
-    const std::uint64_t steady_bytes = out.total_bytes - out.buffering_bytes;
-    out.steady_rate_bps =
-        steady_span > 0.0 ? static_cast<double>(steady_bytes) * 8.0 / steady_span : 0.0;
-    out.block_sizes_bytes.reserve(out.on_periods.size() - 1);
-    for (std::size_t i = 1; i < out.on_periods.size(); ++i) {
-      out.block_sizes_bytes.push_back(static_cast<double>(out.on_periods[i].bytes));
-    }
-  } else {
-    out.steady_rate_bps = out.overall_rate_bps();
-  }
-  return out;
+OnOffAnalysis analyze_on_off(capture::TraceView trace, const OnOffOptions& options) {
+  OnOffAccumulator acc{options};
+  for (const auto& p : trace) acc.add(p);
+  return acc.finish();
 }
 
-std::size_t count_zero_window_episodes(const capture::PacketTrace& trace) {
-  std::size_t episodes = 0;
-  bool at_zero = false;
-  for (const auto& p : trace.packets) {
-    if (p.direction != net::Direction::kUp) continue;
-    if (p.window_bytes == 0) {
-      if (!at_zero) {
-        ++episodes;
-        at_zero = true;
-      }
-    } else {
-      at_zero = false;
-    }
-  }
-  return episodes;
+std::size_t count_zero_window_episodes(capture::TraceView trace) {
+  ZeroWindowAccumulator acc;
+  for (const auto& p : trace) acc.add(p);
+  return acc.episodes();
 }
 
 }  // namespace vstream::analysis

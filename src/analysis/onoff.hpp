@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "capture/trace.hpp"
+#include "capture/trace_view.hpp"
 
 namespace vstream::analysis {
 
@@ -78,11 +78,13 @@ struct OnOffAnalysis {
 
 /// Run the ON/OFF analysis over all down-direction data packets of the
 /// trace (connections aggregated, as the paper aggregates the video flow).
-[[nodiscard]] OnOffAnalysis analyze_on_off(const capture::PacketTrace& trace,
+/// Implemented as a walk feeding an `OnOffAccumulator`, so the batch and
+/// streaming paths share one state machine.
+[[nodiscard]] OnOffAnalysis analyze_on_off(capture::TraceView trace,
                                            const OnOffOptions& options = {});
 
 /// Count episodes where the client's advertised window reached zero — the
 /// signature of client-side pull throttling in Figs 2(b) and 6(a).
-[[nodiscard]] std::size_t count_zero_window_episodes(const capture::PacketTrace& trace);
+[[nodiscard]] std::size_t count_zero_window_episodes(capture::TraceView trace);
 
 }  // namespace vstream::analysis

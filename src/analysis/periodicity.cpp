@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "stats/timeseries.hpp"
+#include "analysis/accumulators.hpp"
 
 namespace vstream::analysis {
 
@@ -14,57 +14,11 @@ double paced_cycle_duration_s(double block_bytes, double accumulation_ratio,
   return block_bytes * 8.0 / (accumulation_ratio * encoding_bps);
 }
 
-PeriodicityResult estimate_cycle_period(const capture::PacketTrace& trace,
+PeriodicityResult estimate_cycle_period(capture::TraceView trace,
                                         const PeriodicityOptions& options) {
-  if (options.bin_s <= 0.0 || options.max_period_s <= options.bin_s) {
-    throw std::invalid_argument{"estimate_cycle_period: bad bin/period options"};
-  }
-  PeriodicityResult result;
-  if (trace.empty()) return result;
-
-  double steady_start = 0.0;
-  if (options.steady_start_s.has_value()) {
-    steady_start = *options.steady_start_s;
-  } else {
-    const auto onoff = analyze_on_off(trace);
-    steady_start = onoff.buffering_end_s;
-  }
-
-  double t_end = 0.0;
-  for (const auto& p : trace.packets) t_end = std::max(t_end, p.t_s);
-  if (t_end - steady_start < 4.0 * options.bin_s) return result;
-
-  stats::RateBinner binner{steady_start, t_end, options.bin_s};
-  for (const auto& p : trace.packets) {
-    if (p.direction != net::Direction::kDown || p.payload_bytes == 0) continue;
-    binner.add(p.t_s, static_cast<double>(p.payload_bytes));
-  }
-  const auto series = binner.series();
-  result.bins_analysed = series.size();
-
-  // A throttled stream idles for most of its steady state; a bulk transfer
-  // has essentially no idle bins. Require real OFF structure before calling
-  // the trace periodic, or TCP rate jitter can masquerade as a cycle.
-  double peak = 0.0;
-  for (const double v : series.values) peak = std::max(peak, v);
-  if (peak <= 0.0) return result;
-  std::size_t idle_bins = 0;
-  for (const double v : series.values) {
-    if (v < 0.05 * peak) ++idle_bins;
-  }
-  if (static_cast<double>(idle_bins) < 0.15 * static_cast<double>(series.size())) return result;
-
-  const auto max_lag = static_cast<std::size_t>(options.max_period_s / options.bin_s);
-  const auto acf = stats::autocorrelation(series.values, max_lag);
-  if (acf.empty()) return result;
-
-  const std::size_t period_bins = stats::dominant_period_bins(acf);
-  if (period_bins == 0) return result;
-
-  result.periodic = true;
-  result.period_s = static_cast<double>(period_bins) * options.bin_s;
-  result.correlation = acf[period_bins];
-  return result;
+  PeriodicityAccumulator acc{options};
+  for (const auto& p : trace) acc.add(p);
+  return acc.finish();
 }
 
 }  // namespace vstream::analysis

@@ -11,7 +11,7 @@
 #include <optional>
 
 #include "analysis/onoff.hpp"
-#include "capture/trace.hpp"
+#include "capture/trace_view.hpp"
 
 namespace vstream::analysis {
 
@@ -30,7 +30,9 @@ struct PeriodicityResult {
   std::size_t bins_analysed{0};
 };
 
-[[nodiscard]] PeriodicityResult estimate_cycle_period(const capture::PacketTrace& trace,
+/// Implemented as a walk feeding a `PeriodicityAccumulator`, so the batch
+/// and streaming paths share one binning + autocorrelation pipeline.
+[[nodiscard]] PeriodicityResult estimate_cycle_period(capture::TraceView trace,
                                                       const PeriodicityOptions& options = {});
 
 /// Expected cycle duration for a paced stream: block / (ratio x encoding

@@ -6,14 +6,14 @@
 
 namespace vstream::analysis {
 
-SessionReport build_report(const capture::PacketTrace& trace, const ReportOptions& options) {
+SessionReport build_report(capture::TraceView trace, const ReportOptions& options) {
   SessionReport report;
-  report.label = trace.label;
-  report.packets = trace.packets.size();
+  report.label = trace.label();
+  report.packets = trace.count();
   report.connections = trace.connection_count();
   report.retransmission_pct = trace.retransmission_fraction() * 100.0;
   report.zero_window_episodes = count_zero_window_episodes(trace);
-  report.duration_s = trace.duration_s;
+  report.duration_s = trace.duration_s();
 
   const auto onoff = analyze_on_off(trace, options.onoff);
   const auto decision = classify_strategy(onoff, trace);
@@ -28,7 +28,7 @@ SessionReport build_report(const capture::PacketTrace& trace, const ReportOption
   report.median_off_s = onoff.median_off_s();
 
   const double rate =
-      options.encoding_bps.has_value() ? *options.encoding_bps : trace.encoding_bps;
+      options.encoding_bps.has_value() ? *options.encoding_bps : trace.encoding_bps();
   if (rate > 0.0) {
     report.buffered_playback_s = onoff.buffered_playback_s(rate);
     if (onoff.has_steady_state()) report.accumulation_ratio = onoff.accumulation_ratio(rate);

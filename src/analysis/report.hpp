@@ -11,7 +11,7 @@
 #include "analysis/onoff.hpp"
 #include "analysis/periodicity.hpp"
 #include "analysis/strategy.hpp"
-#include "capture/trace.hpp"
+#include "capture/trace_view.hpp"
 
 namespace vstream::analysis {
 
@@ -45,6 +45,11 @@ struct SessionReport {
   double duration_s{0.0};
 
   [[nodiscard]] std::string render() const;
+
+  /// Exact field-wise equality — the contract between the batch and
+  /// streaming paths is *identical* output, not approximately equal output,
+  /// so the comparison is deliberately strict.
+  friend bool operator==(const SessionReport&, const SessionReport&) = default;
 };
 
 struct ReportOptions {
@@ -56,7 +61,10 @@ struct ReportOptions {
   bool estimate_ack_clock{true};
 };
 
-[[nodiscard]] SessionReport build_report(const capture::PacketTrace& trace,
+/// Batch entry point: several passes over one in-memory trace (view). The
+/// single-pass equivalent is `StreamingReportBuilder` (streaming_report.hpp);
+/// the two are tested field-identical on the whole scenario catalog.
+[[nodiscard]] SessionReport build_report(capture::TraceView trace,
                                          const ReportOptions& options = {});
 
 }  // namespace vstream::analysis

@@ -19,10 +19,15 @@ std::string to_string(Strategy s) {
 }
 
 StrategyDecision classify_strategy(const OnOffAnalysis& analysis,
-                                   const capture::PacketTrace& trace) {
+                                   capture::TraceView trace) {
+  return classify_strategy(analysis, trace.connection_count());
+}
+
+StrategyDecision classify_strategy(const OnOffAnalysis& analysis,
+                                   std::size_t connection_count) {
   StrategyDecision d;
   d.cycles = analysis.block_sizes_bytes.size();
-  d.connections = trace.connection_count();
+  d.connections = connection_count;
   d.median_block_bytes = analysis.median_block_bytes();
 
   // Bulk transfers masquerade in two ways: an essentially continuous

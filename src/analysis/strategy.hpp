@@ -33,9 +33,14 @@ struct StrategyDecision {
   std::string rationale;
 };
 
-/// Classify from an ON/OFF analysis plus the owning trace (the trace
-/// supplies the connection count used to spot the multi-connection mix).
+/// Classify from an ON/OFF analysis plus the connection count (used to spot
+/// the multi-connection mix). The count overload is what the streaming
+/// report builder uses — it knows the count without holding a trace.
 [[nodiscard]] StrategyDecision classify_strategy(const OnOffAnalysis& analysis,
-                                                 const capture::PacketTrace& trace);
+                                                 std::size_t connection_count);
+
+/// Convenience: derive the connection count from the trace view.
+[[nodiscard]] StrategyDecision classify_strategy(const OnOffAnalysis& analysis,
+                                                 capture::TraceView trace);
 
 }  // namespace vstream::analysis

@@ -1,0 +1,66 @@
+// Single-pass session report: the streaming counterpart of `build_report`.
+//
+// A `StreamingReportBuilder` consumes `PacketRecord`s one at a time — from
+// a live `TraceRecorder` sink or a pcap read loop — and assembles the same
+// `SessionReport` the batch path produces, without ever materializing the
+// trace. Memory scales with ON/OFF cycles and TCP connections, not packets
+// (see DESIGN.md §9), which is what lets a 10k-session sweep or a
+// multi-hour capture run in constant space per session.
+//
+// Equivalence contract: `finish()` is field-identical to
+// `build_report(trace, options)` over the same record stream, provided the
+// handshake RTT estimate is final before the first qualifying steady-state
+// ON period (true whenever the video connection's handshake completes
+// before data flows — every catalog scenario; `first_rtt_stale()` reports
+// the exception). The equivalence tests in tests/streaming_report_test.cpp
+// enforce this across the whole scenario catalog and randomized traces.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "analysis/accumulators.hpp"
+#include "analysis/report.hpp"
+
+namespace vstream::analysis {
+
+class StreamingReportBuilder {
+ public:
+  explicit StreamingReportBuilder(const ReportOptions& options = {});
+
+  /// Metadata the batch path reads off the trace; set any time before
+  /// `finish()`.
+  void set_label(std::string label) { label_ = std::move(label); }
+  void set_encoding_bps(double bps) { encoding_bps_ = bps; }
+  void set_duration_s(double s) { duration_s_ = s; }
+
+  /// Process one record, in capture order.
+  void add(const capture::PacketRecord& p);
+
+  /// Assemble the report. Idempotent; `add` may not be called afterwards.
+  [[nodiscard]] SessionReport finish() const;
+
+  /// True when a first-RTT window opened before the handshake RTT estimate
+  /// settled — the one case where `finish()` is best-effort instead of
+  /// batch-identical (see file comment).
+  [[nodiscard]] bool first_rtt_stale() const;
+
+  [[nodiscard]] std::size_t packets_seen() const { return packets_; }
+
+ private:
+  ReportOptions options_;
+  std::string label_;
+  double encoding_bps_{0.0};
+  double duration_s_{0.0};
+
+  std::size_t packets_{0};
+  std::set<std::uint64_t> connections_;
+  RetransmissionAccumulator retransmissions_;
+  ZeroWindowAccumulator zero_window_;
+  OnOffAccumulator onoff_;
+  HandshakeRttTracker handshake_;
+  FirstRttAccumulator first_rtt_;
+  PeriodicityAccumulator periodicity_;
+};
+
+}  // namespace vstream::analysis

@@ -139,7 +139,8 @@ void write_pcap(const PacketTrace& trace, const std::string& path) {
   if (!out) throw std::runtime_error{"write_pcap: write failed for " + path};
 }
 
-PacketTrace read_pcap(const std::string& path) {
+void for_each_pcap_record(const std::string& path,
+                          const std::function<void(const PacketRecord&)>& fn) {
   std::ifstream in{path, std::ios::binary};
   if (!in) throw std::runtime_error{"read_pcap: cannot open " + path};
 
@@ -162,7 +163,6 @@ PacketTrace read_pcap(const std::string& path) {
     throw std::runtime_error{"read_pcap: unsupported link type in " + path};
   }
 
-  PacketTrace trace;
   // Wire sequence numbers are 32-bit and wrap every 4 GiB per direction;
   // unwrap them back to 64-bit absolute offsets against the highest value
   // seen so far on each (connection, direction) stream. ACKs acknowledge
@@ -219,8 +219,13 @@ PacketTrace read_pcap(const std::string& path) {
     r.payload_bytes = orig_len >= kHeadersBytes
                           ? static_cast<std::uint32_t>(orig_len - kHeadersBytes)
                           : 0;
-    trace.packets.push_back(r);
+    fn(r);
   }
+}
+
+PacketTrace read_pcap(const std::string& path) {
+  PacketTrace trace;
+  for_each_pcap_record(path, [&trace](const PacketRecord& r) { trace.packets.push_back(r); });
   if (!trace.packets.empty()) {
     trace.duration_s = trace.packets.back().t_s - trace.packets.front().t_s;
   }

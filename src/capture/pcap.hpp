@@ -13,6 +13,7 @@
 //                         multiple of 128; zero stays zero)
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "capture/trace.hpp"
@@ -29,5 +30,11 @@ void write_pcap(const PacketTrace& trace, const std::string& path);
 /// IPv4 over Ethernet). Label and encoding-rate metadata are not part of
 /// the format and are left for the caller to fill.
 [[nodiscard]] PacketTrace read_pcap(const std::string& path);
+
+/// Stream every record of a pcap file to `fn` in file order without
+/// materialising a trace — same parsing and unwrapping as `read_pcap`,
+/// O(1) memory in the capture length. Throws on I/O/format errors.
+void for_each_pcap_record(const std::string& path,
+                          const std::function<void(const PacketRecord&)>& fn);
 
 }  // namespace vstream::capture

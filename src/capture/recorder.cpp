@@ -1,5 +1,10 @@
 #include "capture/recorder.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "obs/context.hpp"
+
 namespace vstream::capture {
 
 TraceRecorder::TraceRecorder(sim::Simulator& sim, net::Path& path) : sim_{sim}, path_{&path} {
@@ -16,9 +21,32 @@ void TraceRecorder::detach() {
   }
 }
 
+void TraceRecorder::reserve_for(double duration_s, double down_bps) {
+  if (duration_s <= 0.0 || down_bps <= 0.0 || !store_packets_) return;
+  // Data segments at full rate, roughly one viewer ACK per data segment,
+  // plus slack for retransmissions and control traffic. An over-estimate
+  // only costs unused capacity until `take()`; an under-estimate costs the
+  // realloc cascade this hint exists to avoid.
+  constexpr double kPayloadBytesPerPacket = 1460.0;
+  constexpr double kPacketsPerDataSegment = 2.2;
+  constexpr std::size_t kReserveCap = std::size_t{1} << 22;  // 4 Mi records ~ 288 MB
+  const double data_segments = duration_s * down_bps / 8.0 / kPayloadBytesPerPacket;
+  const auto expected =
+      static_cast<std::size_t>(std::ceil(data_segments * kPacketsPerDataSegment));
+  trace_.packets.reserve(std::min(expected, kReserveCap));
+}
+
+void TraceRecorder::publish_trace_bytes() {
+  if (auto* obs = obs::context_of(sim_)) {
+    obs->metrics().gauge("capture.trace_bytes")
+        .set_max(static_cast<double>(trace_.packets.size() * sizeof(PacketRecord)));
+  }
+}
+
 void TraceRecorder::stop() {
   recording_ = false;
   trace_.duration_s = last_t_s_ - (first_t_s_ < 0.0 ? 0.0 : first_t_s_);
+  publish_trace_bytes();
 }
 
 void TraceRecorder::on_event(sim::SimTime t, const net::TcpSegment& s, net::Direction d,
@@ -45,7 +73,8 @@ void TraceRecorder::on_event(sim::SimTime t, const net::TcpSegment& s, net::Dire
   r.window_bytes = s.window_bytes;
   r.flags = s.flags;
   r.is_retransmission = s.is_retransmission;
-  trace_.packets.push_back(r);
+  if (store_packets_) trace_.packets.push_back(r);
+  if (sink_) sink_(r);
 }
 
 PacketTrace TraceRecorder::take() {

@@ -5,7 +5,14 @@
 // them: down-direction segments when they are *delivered*, up-direction
 // segments when they are *transmitted*. Capture can be stopped (the paper
 // stopped after 180 s) independently of the simulation.
+//
+// Besides storing records into a `PacketTrace`, the recorder can forward
+// each record to a sink as it happens — the hook the streaming analysis
+// pipeline attaches to — and storing can be disabled entirely for
+// sink-only operation, making a session O(1) in capture length.
 #pragma once
+
+#include <functional>
 
 #include "capture/trace.hpp"
 #include "net/path.hpp"
@@ -15,6 +22,10 @@ namespace vstream::capture {
 
 class TraceRecorder {
  public:
+  /// Called once per recorded packet, in capture order, after the record is
+  /// (optionally) stored.
+  using RecordSink = std::function<void(const PacketRecord&)>;
+
   /// Installs the tap. The recorder must outlive the path or be detached.
   TraceRecorder(sim::Simulator& sim, net::Path& path);
   ~TraceRecorder();
@@ -28,6 +39,19 @@ class TraceRecorder {
   /// Remove the tap from the path (automatic on destruction).
   void detach();
 
+  /// Stream each record to `sink` as it is captured (empty to clear).
+  void set_record_sink(RecordSink sink) { sink_ = std::move(sink); }
+
+  /// When false, records are forwarded to the sink but not stored — the
+  /// trace stays empty and memory stays constant. Default true.
+  void set_store_packets(bool store) { store_packets_ = store; }
+
+  /// Pre-size the trace for an expected capture: `duration_s` of capture at
+  /// `down_bps` of download bandwidth. A deliberate over-estimate (data +
+  /// ack packets, jitter margin) capped at a sane bound, so a 180 s capture
+  /// does one allocation instead of a realloc cascade.
+  void reserve_for(double duration_s, double down_bps);
+
   [[nodiscard]] bool recording() const { return recording_; }
   [[nodiscard]] PacketTrace& trace() { return trace_; }
   [[nodiscard]] const PacketTrace& trace() const { return trace_; }
@@ -37,11 +61,14 @@ class TraceRecorder {
 
  private:
   void on_event(sim::SimTime t, const net::TcpSegment& s, net::Direction d, net::LinkEvent e);
+  void publish_trace_bytes();
 
   sim::Simulator& sim_;
   net::Path* path_;
   PacketTrace trace_;
+  RecordSink sink_;
   bool recording_{false};
+  bool store_packets_{true};
   double first_t_s_{-1.0};
   double last_t_s_{0.0};
 };

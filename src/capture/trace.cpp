@@ -20,6 +20,7 @@ std::size_t PacketTrace::connection_count() const {
 
 std::vector<PacketRecord> PacketTrace::in_direction(net::Direction d) const {
   std::vector<PacketRecord> out;
+  out.reserve(packets.size());
   for (const auto& p : packets) {
     if (p.direction == d) out.push_back(p);
   }

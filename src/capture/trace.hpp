@@ -41,6 +41,11 @@ struct PacketTrace {
   /// Number of distinct TCP connections observed.
   [[nodiscard]] std::size_t connection_count() const;
 
+  // The three copy-returning filters below are legacy: new code should use
+  // `capture::TraceView` (trace_view.hpp), which expresses the same
+  // restrictions without materializing anything. The `trace-copy` lint rule
+  // flags fresh call sites outside src/capture.
+
   /// Records for one direction only, preserving order.
   [[nodiscard]] std::vector<PacketRecord> in_direction(net::Direction d) const;
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "analysis/streaming_report.hpp"
 #include "capture/recorder.hpp"
 #include "check/digest.hpp"
 #include "http/exchange.hpp"
@@ -126,6 +127,20 @@ SessionResult run_session(const SessionConfig& cfg) {
   World w{cfg};
   if (cfg.trace_sink != nullptr) w.obs.trace().attach(cfg.trace_sink);
   if (cfg.digest != nullptr) w.sim.set_digest(cfg.digest);
+
+  // Capture plumbing: size the trace for the expected capture up front
+  // (un-jittered profile rate as the upper bound), optionally stream every
+  // video-host record through the single-pass analysis pipeline, and skip
+  // storing entirely when the caller only wants the streamed report.
+  w.recorder.set_store_packets(cfg.store_trace);
+  w.recorder.reserve_for(cfg.capture_duration_s, cfg.network.down_bps);
+  std::unique_ptr<analysis::StreamingReportBuilder> live_report;
+  if (cfg.streaming_report) {
+    live_report = std::make_unique<analysis::StreamingReportBuilder>();
+    w.recorder.set_record_sink([&live = *live_report](const capture::PacketRecord& r) {
+      if (r.host == 0) live.add(r);  // the §2 video-host filter, streamed
+    });
+  }
   obs::SimLoopMonitor loop_monitor{w.sim, sim::Duration::seconds(1.0)};
   loop_monitor.start();
   sim::Rng knob_rng = w.rng.fork("session-knobs");
@@ -269,14 +284,20 @@ SessionResult run_session(const SessionConfig& cfg) {
   loop_monitor.stop();
   if (auxiliary) auxiliary->stop();
 
-  // Assemble the result the way the paper's pipeline would see it: the full
-  // capture, then the filter to the video CDN's connections (Section 2).
+  // Assemble the result the way the paper's pipeline would see it: the
+  // capture, then the filter to the video CDN's connections (Section 2) —
+  // applied in place, so the session holds one trace, not two copies.
   SessionResult result;
-  result.full_trace = w.recorder.take();
-  result.full_trace.label = to_string(cfg.service) + "/" + video::to_string(cfg.container) +
-                            "/" + to_string(cfg.application) + " @ " + cfg.network.name;
-  result.full_trace.duration_s = cfg.capture_duration_s;
-  result.trace = result.full_trace.only_host(0);
+  result.trace = w.recorder.take();
+  result.trace.label = to_string(cfg.service) + "/" + video::to_string(cfg.container) + "/" +
+                       to_string(cfg.application) + " @ " + cfg.network.name;
+  result.trace.duration_s = cfg.capture_duration_s;
+  if (cfg.keep_full_trace) {
+    result.has_full_trace = true;
+  } else {
+    std::erase_if(result.trace.packets,
+                  [](const capture::PacketRecord& p) { return p.host != 0; });
+  }
 
   result.encoding_bps_true = player_rate_bps;
   const auto header = video::make_header(cfg.video);
@@ -288,13 +309,24 @@ SessionResult run_session(const SessionConfig& cfg) {
           : video::resolve_encoding_rate(header, cfg.video.size_bytes(), noise);
   result.trace.encoding_bps = result.encoding_bps_estimated;
 
+  if (live_report) {
+    // Mirror the metadata the batch path reads off the video trace, then
+    // close out the single-pass report.
+    live_report->set_label(result.trace.label);
+    live_report->set_duration_s(cfg.capture_duration_s);
+    live_report->set_encoding_bps(result.encoding_bps_estimated);
+    result.report = live_report->finish();
+    w.recorder.set_record_sink({});
+  }
+
   result.player = player.stats();
   result.interrupted_at_s = result.player.interrupted ? result.player.interrupted_at_s : 0.0;
   if (greedy) result.bytes_downloaded = greedy->bytes_read();
   if (pull) result.bytes_downloaded = pull->bytes_read();
   if (ipad) result.bytes_downloaded = ipad->bytes_fetched();
   if (netflix) result.bytes_downloaded = netflix->bytes_fetched();
-  result.connections = result.trace.connection_count();
+  result.connections = cfg.store_trace ? result.video_trace().connection_count()
+                                       : (result.report ? result.report->connections : 0);
   result.metrics = w.obs.metrics().snapshot();
   result.sim_events = w.sim.events_processed();
   result.sim_max_events_pending = w.sim.max_events_pending();

@@ -13,7 +13,8 @@
 #include <optional>
 #include <string>
 
-#include "capture/trace.hpp"
+#include "analysis/report.hpp"
+#include "capture/trace_view.hpp"
 #include "net/profile.hpp"
 #include "obs/metrics.hpp"
 #include "streaming/player.hpp"
@@ -80,14 +81,37 @@ struct SessionConfig {
   /// event dispatch order and TCP state snapshots fold into it, so two runs
   /// with identical config must leave identical digests. Non-owning.
   check::StateDigest* digest{nullptr};
+  /// Keep the auxiliary-host traffic in `SessionResult::trace`. By default
+  /// the result holds only the video-CDN packets (the paper's §2 filter,
+  /// applied in place) — one owned trace instead of the seed's two.
+  bool keep_full_trace{false};
+  /// Store captured packets at all. With false the result's trace stays
+  /// empty and memory stays constant in capture length — pair it with
+  /// `streaming_report` for sweeps that only need the analysis output.
+  bool store_trace{true};
+  /// Run the single-pass analysis pipeline during capture and attach its
+  /// `SessionReport` (field-identical to the batch `build_report` over the
+  /// video trace) to the result.
+  bool streaming_report{false};
 };
 
 struct SessionResult {
-  /// Video-CDN traffic only — what the paper analysed after filtering by
-  /// server address.
+  /// The one owned capture of the session. By default it holds the
+  /// video-CDN traffic only (the paper's §2 filter applied in place); with
+  /// `SessionConfig::keep_full_trace` it holds everything the viewer-side
+  /// capture saw, auxiliary hosts included, and `video_trace()` does the
+  /// filtering lazily. Empty when `store_trace` is false.
   capture::PacketTrace trace;
-  /// Everything the viewer-side capture saw, auxiliary hosts included.
-  capture::PacketTrace full_trace;
+  /// Whether `trace` still contains the auxiliary-host packets.
+  bool has_full_trace{false};
+  /// The video-CDN packets as a zero-copy view — what the analysis layer
+  /// consumes. Valid only while this result (and its `trace`) is alive.
+  [[nodiscard]] capture::TraceView video_trace() const {
+    return capture::TraceView{trace}.host(0);
+  }
+  /// Single-pass analysis output, when `SessionConfig::streaming_report`
+  /// was set. Present even with `store_trace == false`.
+  std::optional<analysis::SessionReport> report;
   PlayerStats player;
   std::uint64_t bytes_downloaded{0};   ///< application bytes read by the client
   std::size_t connections{0};          ///< TCP connections used for video

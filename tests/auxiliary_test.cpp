@@ -27,17 +27,21 @@ streaming::SessionConfig flash_config(bool aux) {
 }
 
 TEST(AuxiliaryTest, FullTraceContainsAuxAndVideoHosts) {
-  const auto result = streaming::run_session(flash_config(true));
-  EXPECT_GT(result.full_trace.connection_count(), result.trace.connection_count());
+  auto cfg = flash_config(true);
+  cfg.keep_full_trace = true;
+  const auto result = streaming::run_session(cfg);
+  const auto video = result.video_trace();
+  EXPECT_TRUE(result.has_full_trace);
+  EXPECT_GT(result.trace.connection_count(), video.connection_count());
   bool saw_aux = false;
   bool saw_video = false;
-  for (const auto& p : result.full_trace.packets) {
+  for (const auto& p : result.trace.packets) {
     (p.host == 0 ? saw_video : saw_aux) = true;
   }
   EXPECT_TRUE(saw_video);
   EXPECT_TRUE(saw_aux);
-  // The filtered trace is pure video.
-  for (const auto& p : result.trace.packets) EXPECT_EQ(p.host, 0);
+  // The video view is pure video.
+  for (const auto& p : video) EXPECT_EQ(p.host, 0);
 }
 
 TEST(AuxiliaryTest, FilteringReproducesAuxFreeAnalysis) {
@@ -61,10 +65,13 @@ TEST(AuxiliaryTest, FilteringReproducesAuxFreeAnalysis) {
 
 TEST(AuxiliaryTest, UnfilteredAnalysisWouldBePolluted) {
   // Sanity check that the filtering step actually matters: the full trace
-  // has more connections and more bytes than the video trace.
-  const auto result = streaming::run_session(flash_config(true));
-  EXPECT_GT(result.full_trace.down_payload_bytes(), result.trace.down_payload_bytes());
-  EXPECT_GE(result.full_trace.connection_count() - result.trace.connection_count(), 3U);
+  // has more connections and more bytes than the video view over it.
+  auto cfg = flash_config(true);
+  cfg.keep_full_trace = true;
+  const auto result = streaming::run_session(cfg);
+  const auto video = result.video_trace();
+  EXPECT_GT(result.trace.down_payload_bytes(), video.down_payload_bytes());
+  EXPECT_GE(result.trace.connection_count() - video.connection_count(), 3U);
 }
 
 TEST(AuxiliaryTest, GeneratorProducesBoundedTraffic) {

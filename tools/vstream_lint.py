@@ -25,6 +25,14 @@ Rules (all scoped to C++ sources):
                runner::ParallelSweep, which parallelises across whole
                worlds, never inside one.
                Scope: src/, examples/, tools/, bench/; src/runner/ exempt.
+  trace-copy   no copy-returning trace filters (only_host / in_direction /
+               without_connection) outside src/capture — they materialise a
+               second packet vector per call. Use the zero-copy
+               capture::TraceView combinators (host / direction /
+               excluding_connection) instead.
+               Scope: src/, examples/, tools/, bench/; src/capture/ exempt
+               (the legacy filters live there and TraceView::materialize
+               uses them on purpose).
 
 Waivers: append `// vstream-lint: allow(<rule>): <reason>` to the offending
 line, or put `// vstream-lint-file: allow(<rule>): <reason>` anywhere in the
@@ -90,6 +98,11 @@ RULES = {
         "threads outside src/runner; per-world code is single-threaded — fan out via runner::ParallelSweep",
         ("src", "examples", "tools", "bench"),
     ),
+    "trace-copy": (
+        re.compile(r"\.\s*(?:only_host|in_direction|without_connection)\s*\("),
+        "copy-returning trace filter; use the zero-copy capture::TraceView combinators",
+        ("src", "examples", "tools", "bench"),
+    ),
 }
 
 # rule -> path prefixes (relative to the repo root) where it does not apply.
@@ -97,6 +110,9 @@ RULES = {
 # whole simulated worlds and never shares state inside one.
 RULE_EXEMPT_PREFIXES = {
     "thread": (("src", "runner"),),
+    # The legacy copy filters are defined in src/capture, and
+    # TraceView::materialize delegates to them deliberately.
+    "trace-copy": (("src", "capture"),),
 }
 
 COMMENT_ONLY = re.compile(r"^\s*(//|\*|/\*)")
