@@ -27,6 +27,7 @@
 #include "net/segment.hpp"
 #include "runner/parallel_sweep.hpp"
 #include "sim/simulator.hpp"
+#include "streaming/session_builder.hpp"
 #include "support.hpp"
 
 namespace {
@@ -254,11 +255,13 @@ std::vector<streaming::SessionConfig> sweep_configs(std::size_t count, double ca
   std::vector<streaming::SessionConfig> configs;
   configs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    auto cfg = bench::make_config(streaming::Service::kYouTube, video::Container::kFlash,
-                                  streaming::Application::kFirefox, net::Vantage::kResearch,
-                                  ds.videos[i], 9000 + i);
-    cfg.capture_duration_s = capture_s;
-    configs.push_back(cfg);
+    configs.push_back(
+        streaming::SessionBuilder{bench::make_config(
+                                      streaming::Service::kYouTube, video::Container::kFlash,
+                                      streaming::Application::kFirefox, net::Vantage::kResearch,
+                                      ds.videos[i], 9000 + i)}
+            .capture_duration_s(capture_s)
+            .build());
   }
   return configs;
 }

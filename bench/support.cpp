@@ -8,6 +8,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "streaming/session_builder.hpp"
+
 namespace vstream::bench {
 namespace {
 
@@ -73,15 +75,15 @@ std::vector<SessionOutcome> run_and_analyze_all(
 streaming::SessionConfig make_config(streaming::Service service, video::Container container,
                                      streaming::Application application, net::Vantage vantage,
                                      const video::VideoMeta& video, std::uint64_t seed) {
-  streaming::SessionConfig cfg;
-  cfg.service = service;
-  cfg.container = container;
-  cfg.application = application;
-  cfg.network = net::profile_for(vantage);
-  cfg.video = video;
-  cfg.capture_duration_s = kCaptureSeconds;
-  cfg.seed = seed;
-  return cfg;
+  return streaming::SessionBuilder{}
+      .service(service)
+      .container(container)
+      .application(application)
+      .vantage(vantage)
+      .video(video)
+      .capture_duration_s(kCaptureSeconds)
+      .seed(seed)
+      .build();
 }
 
 std::vector<SessionOutcome> sweep(streaming::Service service, video::Container container,

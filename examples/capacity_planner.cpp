@@ -21,7 +21,7 @@
 #include "model/aggregate.hpp"
 #include "model/interruption.hpp"
 #include "runner/parallel_sweep.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 
 namespace {
 
@@ -81,20 +81,24 @@ int main(int argc, char** argv) {
   // merged in submission order and identical for any worker count.
   {
     constexpr std::size_t kSessions = 8;
-    std::vector<streaming::SessionConfig> configs(kSessions);
+    video::VideoMeta meta;
+    meta.id = "planner";
+    meta.duration_s = p.mean_duration_s;
+    meta.encoding_bps = p.mean_encoding_bps;
+    meta.container = video::Container::kFlash;
+    std::vector<streaming::SessionConfig> configs;
+    configs.reserve(kSessions);
     for (std::size_t i = 0; i < kSessions; ++i) {
-      auto& cfg = configs[i];
-      cfg.network = net::profile_for(net::Vantage::kResearch);
-      cfg.video.id = "planner";
-      cfg.video.duration_s = p.mean_duration_s;
-      cfg.video.encoding_bps = p.mean_encoding_bps;
-      cfg.video.container = video::Container::kFlash;
-      cfg.capture_duration_s = 30.0;
-      cfg.seed = 7000 + i;
       // Only aggregate outputs are read below: run the single-pass analysis
       // during capture and store no packets — memory stays O(1) per session.
-      cfg.store_trace = false;
-      cfg.streaming_report = true;
+      configs.push_back(streaming::SessionBuilder{}
+                            .vantage(net::Vantage::kResearch)
+                            .video(meta)
+                            .capture_duration_s(30.0)
+                            .seed(7000 + i)
+                            .store_trace(false)
+                            .streaming_report(true)
+                            .build());
     }
     const runner::ParallelSweep pool;
     const auto sessions = pool.run_sessions(configs);

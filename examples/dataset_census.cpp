@@ -16,7 +16,7 @@
 #include "analysis/strategy.hpp"
 #include "runner/parallel_sweep.hpp"
 #include "stats/descriptive.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "video/datasets.hpp"
 #include "video/viewing.hpp"
 
@@ -89,17 +89,18 @@ int main(int argc, char** argv) {
   for (const auto id : ids) {
     const auto ds = video::make_dataset(id, sample_rng, 50);
     for (std::size_t i = 0; i < kPerDataset; ++i) {
-      streaming::SessionConfig cfg;
-      cfg.network = net::profile_for(net::Vantage::kResearch);
-      cfg.video = ds.videos[i * 7];  // spread the picks across the catalogue
-      cfg.container = cfg.video.container;
-      cfg.capture_duration_s = 20.0;
-      cfg.seed = 100 * static_cast<std::uint64_t>(id) + i;
+      const auto& meta = ds.videos[i * 7];  // spread the picks across the catalogue
       // The census only reads aggregate outputs, so skip packet storage and
       // let the streaming pipeline build the report during capture.
-      cfg.store_trace = false;
-      cfg.streaming_report = true;
-      configs.push_back(cfg);
+      configs.push_back(streaming::SessionBuilder{}
+                            .vantage(net::Vantage::kResearch)
+                            .video(meta)
+                            .container(meta.container)
+                            .capture_duration_s(20.0)
+                            .seed(100 * static_cast<std::uint64_t>(id) + i)
+                            .store_trace(false)
+                            .streaming_report(true)
+                            .build());
     }
   }
   const runner::ParallelSweep pool;

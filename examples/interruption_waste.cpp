@@ -12,7 +12,7 @@
 
 #include "model/interruption.hpp"
 #include "net/profile.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "video/datasets.hpp"
 
 namespace {
@@ -23,19 +23,21 @@ double simulated_unused_mb(double beta, std::size_t sessions, std::uint64_t seed
   double total = 0.0;
   sim::Rng rng{seed};
   for (std::size_t i = 0; i < sessions; ++i) {
-    streaming::SessionConfig cfg;
-    cfg.service = streaming::Service::kYouTube;
-    cfg.container = video::Container::kFlash;
-    cfg.application = streaming::Application::kInternetExplorer;
-    cfg.network = net::profile_for(net::Vantage::kResearch);
-    cfg.video.id = "w" + std::to_string(i);
-    cfg.video.duration_s = 600.0;
-    cfg.video.encoding_bps = rng.uniform(0.6e6, 1.4e6);
-    cfg.video.container = video::Container::kFlash;
-    cfg.capture_duration_s = 600.0;  // long enough to reach the interruption
-    cfg.watch_fraction = beta;
-    cfg.seed = seed + i;
-    const auto result = streaming::run_session(cfg);
+    video::VideoMeta meta;
+    meta.id = "w" + std::to_string(i);
+    meta.duration_s = 600.0;
+    meta.encoding_bps = rng.uniform(0.6e6, 1.4e6);
+    meta.container = video::Container::kFlash;
+    const auto result = streaming::SessionBuilder{}
+                            .service(streaming::Service::kYouTube)
+                            .container(video::Container::kFlash)
+                            .application(streaming::Application::kInternetExplorer)
+                            .vantage(net::Vantage::kResearch)
+                            .video(meta)
+                            .capture_duration_s(600.0)  // reaches the interruption
+                            .watch_fraction(beta)
+                            .seed(seed + i)
+                            .run();
     total += static_cast<double>(result.player.unused_bytes());
   }
   return total / static_cast<double>(sessions) / 1048576.0;

@@ -9,24 +9,28 @@
 #include "analysis/ack_clock.hpp"
 #include "analysis/onoff.hpp"
 #include "analysis/strategy.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 
 int main() {
   using namespace vstream;
 
   // A 1 Mbps, 5-minute video streamed via Flash in Internet Explorer.
-  streaming::SessionConfig cfg;
-  cfg.service = streaming::Service::kYouTube;
-  cfg.container = video::Container::kFlash;
-  cfg.application = streaming::Application::kInternetExplorer;
-  cfg.network = net::profile_for(net::Vantage::kResearch);
-  cfg.video.id = "demo";
-  cfg.video.duration_s = 300.0;
-  cfg.video.encoding_bps = 1e6;
-  cfg.video.resolution = video::Resolution::k360p;
-  cfg.video.container = video::Container::kFlash;
-  cfg.capture_duration_s = 180.0;
-  cfg.seed = 42;
+  video::VideoMeta meta;
+  meta.id = "demo";
+  meta.duration_s = 300.0;
+  meta.encoding_bps = 1e6;
+  meta.resolution = video::Resolution::k360p;
+  meta.container = video::Container::kFlash;
+
+  const auto cfg = streaming::SessionBuilder{}
+                       .service(streaming::Service::kYouTube)
+                       .container(video::Container::kFlash)
+                       .application(streaming::Application::kInternetExplorer)
+                       .vantage(net::Vantage::kResearch)
+                       .video(meta)
+                       .capture_duration_s(180.0)
+                       .seed(42)
+                       .build();
 
   std::printf("streaming %s for %.0f s ...\n", cfg.video.id.c_str(), cfg.capture_duration_s);
   const auto result = streaming::run_session(cfg);

@@ -26,7 +26,7 @@
 #include "capture/csv.hpp"
 #include "capture/pcap.hpp"
 #include "runner/parallel_sweep.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "video/datasets.hpp"
 
 namespace {
@@ -113,30 +113,38 @@ int main(int argc, char** argv) {
     argv += 2;
   }
 
-  streaming::SessionConfig cfg;
-  cfg.service = argc > 1 ? parse_service(argv[1], argv0) : streaming::Service::kYouTube;
-  cfg.container = argc > 2 ? parse_container(argv[2], argv0) : video::Container::kFlash;
-  cfg.application =
+  const auto service = argc > 1 ? parse_service(argv[1], argv0) : streaming::Service::kYouTube;
+  const auto container = argc > 2 ? parse_container(argv[2], argv0) : video::Container::kFlash;
+  const auto application =
       argc > 3 ? parse_application(argv[3], argv0) : streaming::Application::kInternetExplorer;
   const auto vantage = argc > 4 ? parse_vantage(argv[4], argv0) : net::Vantage::kResearch;
-  cfg.network = net::profile_for(vantage);
 
-  cfg.video.id = "explorer";
-  cfg.video.duration_s = argc > 5 ? std::atof(argv[5]) : 600.0;
-  cfg.video.encoding_bps = (argc > 6 ? std::atof(argv[6]) : 1.2) * 1e6;
-  cfg.video.container = cfg.container;
-  if (cfg.service == streaming::Service::kNetflix) {
-    cfg.video.duration_s = std::max(cfg.video.duration_s, 1800.0);
-    cfg.video.available_rates_bps = video::netflix_rate_ladder();
-    cfg.video.encoding_bps = cfg.video.available_rates_bps.back();
+  video::VideoMeta meta;
+  meta.id = "explorer";
+  meta.duration_s = argc > 5 ? std::atof(argv[5]) : 600.0;
+  meta.encoding_bps = (argc > 6 ? std::atof(argv[6]) : 1.2) * 1e6;
+  meta.container = container;
+  if (service == streaming::Service::kNetflix) {
+    meta.duration_s = std::max(meta.duration_s, 1800.0);
+    meta.available_rates_bps = video::netflix_rate_ladder();
+    meta.encoding_bps = meta.available_rates_bps.back();
   }
-  cfg.capture_duration_s = 180.0;
-  cfg.seed = 1;
 
-  if (!streaming::combination_supported(cfg.service, cfg.container, cfg.application)) {
+  if (!streaming::combination_supported(service, container, application)) {
     std::fprintf(stderr, "combination not applicable (Table 1 says N/A)\n");
     return 1;
   }
+  // The builder re-runs the Table 1 check (and the rest of the validation)
+  // in build(); the explicit check above keeps the friendlier message.
+  streaming::SessionConfig cfg = streaming::SessionBuilder{}
+                                     .service(service)
+                                     .container(container)
+                                     .application(application)
+                                     .vantage(vantage)
+                                     .video(meta)
+                                     .capture_duration_s(180.0)
+                                     .seed(1)
+                                     .build();
 
   if (sweep_count > 0) return run_sweep(sweep_count, cfg);
 

@@ -48,6 +48,7 @@ SessionReport build_report(capture::TraceView trace, const ReportOptions& option
     const auto periodicity = estimate_cycle_period(trace);
     if (periodicity.periodic) report.cycle_period_s = periodicity.period_s;
   }
+  report.resilience = options.resilience;
   return report;
 }
 
@@ -82,6 +83,19 @@ std::string SessionReport::render() const {
   if (rtt_ms.has_value()) add("handshake RTT     : %.1f ms\n", *rtt_ms);
   if (median_first_rtt_kb.has_value()) {
     add("first-RTT bytes   : %.0f kB (ack-clock indicator)\n", *median_first_rtt_kb);
+  }
+  if (resilience.any()) {
+    add("faults            : %llu windows, %llu packets dropped in blackout\n",
+        static_cast<unsigned long long>(resilience.fault_windows),
+        static_cast<unsigned long long>(resilience.fault_drops));
+    add("recovery          : %u timeouts, %u retries, %u abandoned\n", resilience.fetch_timeouts,
+        resilience.fetch_retries, resilience.fetch_abandoned);
+    add("rebuffering       : %u stalls, %u recovered, %.2f s stalled (longest %.2f s)\n",
+        resilience.stall_count, resilience.rebuffer_count, resilience.stall_time_s,
+        resilience.longest_stall_s);
+    if (resilience.rate_switches > 0) {
+      add("rate switches     : %zu (adaptive ladder)\n", resilience.rate_switches);
+    }
   }
   return out;
 }

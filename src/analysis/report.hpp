@@ -4,6 +4,7 @@
 // options and render or consume the result.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -14,6 +15,32 @@
 #include "capture/trace_view.hpp"
 
 namespace vstream::analysis {
+
+/// Session-side fault/recovery accounting (retries, rebuffers, fault drops).
+/// Unlike every other report field this is *not* derivable from the packet
+/// trace — it is supplied by the session (ReportOptions::resilience for the
+/// batch path, StreamingReportBuilder::set_resilience for the streaming
+/// path) and defaults to all-zero for fault-free captures.
+struct ResilienceStats {
+  std::uint32_t fetch_retries{0};    ///< request retries after a timeout
+  std::uint32_t fetch_timeouts{0};   ///< no-progress watchdog firings
+  std::uint32_t fetch_abandoned{0};  ///< fetches completed short (budget spent)
+  std::uint32_t rebuffer_count{0};   ///< stalls playback recovered from
+  std::uint32_t stall_count{0};
+  double stall_time_s{0.0};
+  double longest_stall_s{0.0};
+  std::uint64_t fault_drops{0};      ///< packets dropped by blackout windows
+  std::uint64_t fault_windows{0};    ///< impairment windows that began
+  std::size_t rate_switches{0};      ///< adaptive ladder moves (any direction)
+
+  [[nodiscard]] bool any() const {
+    return fetch_retries != 0 || fetch_timeouts != 0 || fetch_abandoned != 0 ||
+           rebuffer_count != 0 || stall_count != 0 || stall_time_s > 0.0 || fault_drops != 0 ||
+           fault_windows != 0 || rate_switches != 0;
+  }
+
+  friend bool operator==(const ResilienceStats&, const ResilienceStats&) = default;
+};
 
 struct SessionReport {
   std::string label;
@@ -44,6 +71,9 @@ struct SessionReport {
   double total_mb{0.0};
   double duration_s{0.0};
 
+  // Fault injection & recovery (session-supplied, zero when fault-free).
+  ResilienceStats resilience;
+
   [[nodiscard]] std::string render() const;
 
   /// Exact field-wise equality — the contract between the batch and
@@ -59,6 +89,9 @@ struct ReportOptions {
   std::optional<double> encoding_bps;
   bool estimate_periodicity{true};
   bool estimate_ack_clock{true};
+  /// Session-side recovery accounting to embed verbatim in the report (the
+  /// packet trace cannot supply it). Leave defaulted for fault-free runs.
+  ResilienceStats resilience;
 };
 
 /// Batch entry point: several passes over one in-memory trace (view). The

@@ -97,7 +97,21 @@ std::string to_json(const SessionReport& report) {
   append_number(out, report.total_mb);
   out << ",\"duration_s\":";
   append_number(out, report.duration_s);
-  out << "}";
+  const ResilienceStats& res = report.resilience;
+  out << ",\"resilience\":{";
+  out << "\"fetch_retries\":" << res.fetch_retries;
+  out << ",\"fetch_timeouts\":" << res.fetch_timeouts;
+  out << ",\"fetch_abandoned\":" << res.fetch_abandoned;
+  out << ",\"rebuffer_count\":" << res.rebuffer_count;
+  out << ",\"stall_count\":" << res.stall_count;
+  out << ",\"stall_time_s\":";
+  append_number(out, res.stall_time_s);
+  out << ",\"longest_stall_s\":";
+  append_number(out, res.longest_stall_s);
+  out << ",\"fault_drops\":" << res.fault_drops;
+  out << ",\"fault_windows\":" << res.fault_windows;
+  out << ",\"rate_switches\":" << res.rate_switches;
+  out << "}}";
   return out.str();
 }
 

@@ -7,7 +7,7 @@
 namespace vstream::analysis {
 
 StreamingReportBuilder::StreamingReportBuilder(const ReportOptions& options)
-    : options_{options}, onoff_{options.onoff} {}
+    : options_{options}, resilience_{options.resilience}, onoff_{options.onoff} {}
 
 void StreamingReportBuilder::add(const capture::PacketRecord& p) {
   ++packets_;
@@ -73,6 +73,7 @@ SessionReport StreamingReportBuilder::finish() const {
     const auto periodicity = periodicity_.finish();
     if (periodicity.periodic) report.cycle_period_s = periodicity.period_s;
   }
+  report.resilience = resilience_;
   return report;
 }
 

@@ -33,6 +33,9 @@ class StreamingReportBuilder {
   void set_label(std::string label) { label_ = std::move(label); }
   void set_encoding_bps(double bps) { encoding_bps_ = bps; }
   void set_duration_s(double s) { duration_s_ = s; }
+  /// Session-side recovery accounting, mirroring ReportOptions::resilience
+  /// on the batch path (packets cannot supply it on either path).
+  void set_resilience(const ResilienceStats& r) { resilience_ = r; }
 
   /// Process one record, in capture order.
   void add(const capture::PacketRecord& p);
@@ -52,6 +55,7 @@ class StreamingReportBuilder {
   std::string label_;
   double encoding_bps_{0.0};
   double duration_s_{0.0};
+  ResilienceStats resilience_;
 
   std::size_t packets_{0};
   std::set<std::uint64_t> connections_;

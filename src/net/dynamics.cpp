@@ -1,0 +1,155 @@
+#include "net/dynamics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace vstream::net {
+
+const char* to_string(ImpairmentKind kind) {
+  switch (kind) {
+    case ImpairmentKind::kRateScale:
+      return "rate_scale";
+    case ImpairmentKind::kDelaySpike:
+      return "delay_spike";
+    case ImpairmentKind::kBurstLoss:
+      return "burst_loss";
+    case ImpairmentKind::kBlackout:
+      return "blackout";
+  }
+  return "?";
+}
+
+ImpairmentSchedule& ImpairmentSchedule::rate_scale(sim::SimTime start, sim::Duration duration,
+                                                   double factor) {
+  ImpairmentWindow w;
+  w.kind = ImpairmentKind::kRateScale;
+  w.start = start;
+  w.duration = duration;
+  w.rate_factor = factor;
+  windows_.push_back(w);
+  return *this;
+}
+
+ImpairmentSchedule& ImpairmentSchedule::delay_spike(sim::SimTime start, sim::Duration duration,
+                                                    sim::Duration extra) {
+  ImpairmentWindow w;
+  w.kind = ImpairmentKind::kDelaySpike;
+  w.start = start;
+  w.duration = duration;
+  w.extra_delay = extra;
+  windows_.push_back(w);
+  return *this;
+}
+
+ImpairmentSchedule& ImpairmentSchedule::burst_loss(sim::SimTime start, sim::Duration duration,
+                                                   double rate, double burst_len) {
+  ImpairmentWindow w;
+  w.kind = ImpairmentKind::kBurstLoss;
+  w.start = start;
+  w.duration = duration;
+  w.loss_rate = rate;
+  w.loss_burst_len = burst_len;
+  windows_.push_back(w);
+  return *this;
+}
+
+ImpairmentSchedule& ImpairmentSchedule::blackout(sim::SimTime start, sim::Duration duration) {
+  ImpairmentWindow w;
+  w.kind = ImpairmentKind::kBlackout;
+  w.start = start;
+  w.duration = duration;
+  windows_.push_back(w);
+  return *this;
+}
+
+ImpairmentSchedule& ImpairmentSchedule::link_flap(sim::SimTime first, sim::Duration down,
+                                                  sim::Duration up, std::size_t count) {
+  sim::SimTime at = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    blackout(at, down);
+    at = at + down + up;
+  }
+  return *this;
+}
+
+void ImpairmentSchedule::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument{"ImpairmentSchedule: " + what};
+  };
+  for (const auto& w : windows_) {
+    if (w.start.count_nanos() < 0) fail("window starts before t=0");
+    if (w.duration.is_negative()) fail("negative window duration");
+    switch (w.kind) {
+      case ImpairmentKind::kRateScale:
+        if (w.rate_factor <= 0.0) fail("rate factor must be positive (use blackout for zero)");
+        break;
+      case ImpairmentKind::kDelaySpike:
+        if (w.extra_delay.is_negative()) fail("negative delay spike");
+        break;
+      case ImpairmentKind::kBurstLoss:
+        if (w.loss_rate < 0.0 || w.loss_rate >= 1.0) fail("burst loss rate outside [0,1)");
+        if (w.loss_burst_len < 1.0) fail("burst length below 1 packet");
+        break;
+      case ImpairmentKind::kBlackout:
+        break;
+    }
+  }
+  // Same-kind overlap check over half-open [start, end) intervals:
+  // zero-duration windows are empty and can never overlap anything.
+  auto sorted = windows_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ImpairmentWindow& a, const ImpairmentWindow& b) {
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.start < b.start;
+                   });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const auto& prev = sorted[i - 1];
+    const auto& cur = sorted[i];
+    if (prev.kind != cur.kind) continue;
+    if (prev.duration.is_zero() || cur.duration.is_zero()) continue;
+    if (cur.start < prev.end()) {
+      fail(std::string{"overlapping "} + to_string(cur.kind) + " windows");
+    }
+  }
+}
+
+ImpairmentSchedule random_link_flaps(sim::Rng& rng, double horizon_s, double flaps_per_min,
+                                     double mean_down_s) {
+  if (horizon_s <= 0.0 || flaps_per_min <= 0.0 || mean_down_s <= 0.0) {
+    throw std::invalid_argument{"random_link_flaps: parameters must be positive"};
+  }
+  ImpairmentSchedule schedule;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(flaps_per_min / 60.0);
+    if (t >= horizon_s) break;
+    const double down_s = rng.exponential(1.0 / mean_down_s);
+    schedule.blackout(sim::SimTime::from_seconds(t), sim::Duration::seconds(down_s));
+    // Advance past the outage so successive blackouts never overlap.
+    t += down_s;
+  }
+  return schedule;
+}
+
+ImpairmentSchedule random_congestion(sim::Rng& rng, double horizon_s, double episodes_per_min,
+                                     double min_factor, double mean_episode_s) {
+  if (horizon_s <= 0.0 || episodes_per_min <= 0.0 || mean_episode_s <= 0.0 ||
+      min_factor <= 0.0 || min_factor >= 1.0) {
+    throw std::invalid_argument{"random_congestion: parameters out of range"};
+  }
+  ImpairmentSchedule schedule;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(episodes_per_min / 60.0);
+    if (t >= horizon_s) break;
+    const double episode_s = rng.exponential(1.0 / mean_episode_s);
+    const double factor = rng.uniform(min_factor, 1.0);
+    schedule.rate_scale(sim::SimTime::from_seconds(t), sim::Duration::seconds(episode_s),
+                        factor);
+    t += episode_s;
+  }
+  return schedule;
+}
+
+}  // namespace vstream::net

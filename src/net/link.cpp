@@ -16,7 +16,57 @@ Link::Link(sim::Simulator& sim, Config config, std::unique_ptr<LossModel> loss, 
     ctr_delivered_ = &reg.counter("net.segments_delivered");
     ctr_drops_queue_ = &reg.counter("net.drops_queue");
     ctr_drops_loss_ = &reg.counter("net.drops_loss");
+    ctr_drops_fault_ = &reg.counter("net.drops_fault");
+    ctr_fault_windows_ = &reg.counter("net.fault_windows");
     gauge_queue_high_water_ = &reg.gauge("net.queue_high_water_bytes");
+  }
+}
+
+void Link::emit_fault_event(ImpairmentKind kind, bool begin) {
+  if (obs::ObsContext* obs = sim_.obs(); obs != nullptr && obs->trace().active()) {
+    obs::LinkFault ev;
+    ev.t_s = sim_.now().to_seconds();
+    ev.kind = to_string(kind);
+    ev.begin = begin;
+    ev.rate_factor = blackout_active() ? 0.0 : rate_factor_;
+    obs->trace().emit(ev);
+  }
+}
+
+void Link::apply_window(const ImpairmentWindow& window, bool begin) {
+  switch (window.kind) {
+    case ImpairmentKind::kRateScale:
+      rate_factor_ = begin ? window.rate_factor : 1.0;
+      break;
+    case ImpairmentKind::kDelaySpike:
+      extra_delay_ = begin ? window.extra_delay : sim::Duration::zero();
+      break;
+    case ImpairmentKind::kBurstLoss:
+      overlay_loss_ = begin ? make_bursty_loss(window.loss_rate, window.loss_burst_len) : nullptr;
+      break;
+    case ImpairmentKind::kBlackout:
+      if (begin) {
+        ++blackout_depth_;
+      } else if (blackout_depth_ > 0) {
+        --blackout_depth_;
+      }
+      break;
+  }
+  if (begin) {
+    ++counters_.fault_windows;
+    if (ctr_fault_windows_ != nullptr) ctr_fault_windows_->inc();
+  }
+  emit_fault_event(window.kind, begin);
+}
+
+void Link::set_impairments(ImpairmentSchedule schedule) {
+  schedule.validate();
+  impairments_ = std::move(schedule);
+  for (const auto& window : impairments_.windows()) {
+    // Start before end even for zero-duration windows: schedule order is
+    // the FIFO tie-break among equal timestamps.
+    sim_.schedule_at(window.start, [this, window] { apply_window(window, true); });
+    sim_.schedule_at(window.end(), [this, window] { apply_window(window, false); });
   }
 }
 
@@ -38,6 +88,15 @@ sim::Duration Link::unloaded_latency(std::uint32_t payload_bytes) const {
 bool Link::send(const TcpSegment& segment) {
   if (!receiver_) throw std::logic_error{"Link::send: receiver not set"};
 
+  if (blackout_active()) {
+    // Interface down: the segment never reaches the queue. TCP sees pure
+    // silence and recovers via its RTO path once the window ends.
+    ++counters_.dropped_fault;
+    if (ctr_drops_fault_ != nullptr) ctr_drops_fault_->inc();
+    notify(segment, LinkEvent::kDropFault);
+    return false;
+  }
+
   const std::size_t wire = segment.wire_bytes();
   if (queued_bytes_ + wire > config_.queue_limit_bytes) {
     ++counters_.dropped_queue;
@@ -54,10 +113,14 @@ bool Link::send(const TcpSegment& segment) {
   notify(segment, LinkEvent::kEnqueue);
 
   const sim::SimTime start = std::max(sim_.now(), busy_until_);
-  const sim::SimTime tx_done = start + sim::transmission_time(wire, config_.rate_bps);
+  const sim::SimTime tx_done = start + sim::transmission_time(wire, effective_rate_bps());
   busy_until_ = tx_done;
 
-  const bool lost = loss_->should_drop(rng_);
+  // A segment is lost when the base model *or* an active burst-loss overlay
+  // says drop. Both draws happen unconditionally while an overlay is live so
+  // the base model's state machine advances identically either way.
+  bool lost = loss_->should_drop(rng_);
+  if (overlay_loss_) lost = overlay_loss_->should_drop(rng_) || lost;
 
   // Serialisation completes: the segment leaves the queue.
   sim_.schedule_at(tx_done, [this, segment, lost] {
@@ -69,7 +132,7 @@ bool Link::send(const TcpSegment& segment) {
       notify(segment, LinkEvent::kDropLoss);
       return;
     }
-    sim_.schedule_after(config_.prop_delay, [this, segment] {
+    sim_.schedule_after(config_.prop_delay + extra_delay_, [this, segment] {
       ++counters_.delivered;
       if (ctr_delivered_ != nullptr) ctr_delivered_->inc();
       counters_.bytes_delivered += segment.wire_bytes();

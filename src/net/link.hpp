@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "net/dynamics.hpp"
 #include "net/loss_model.hpp"
 #include "net/segment.hpp"
 #include "sim/rng.hpp"
@@ -27,6 +28,7 @@ enum class LinkEvent : std::uint8_t {
   kDeliver,    ///< arrived at the far end
   kDropQueue,  ///< rejected: queue full
   kDropLoss,   ///< lost on the wire (loss model)
+  kDropFault,  ///< dropped by an active blackout window (fault injection)
 };
 
 class Link {
@@ -42,7 +44,9 @@ class Link {
     std::uint64_t delivered{0};
     std::uint64_t dropped_queue{0};
     std::uint64_t dropped_loss{0};
+    std::uint64_t dropped_fault{0};  ///< blackout-window drops
     std::uint64_t bytes_delivered{0};
+    std::uint64_t fault_windows{0};  ///< impairment windows entered so far
   };
 
   Link(sim::Simulator& sim, Config config, std::unique_ptr<LossModel> loss, sim::Rng rng);
@@ -71,11 +75,24 @@ class Link {
   [[nodiscard]] sim::Duration unloaded_latency(std::uint32_t payload_bytes) const;
 
   /// Change the serialisation rate mid-run (models congestion onset or
-  /// relief). Applies to packets enqueued from now on.
+  /// relief). Applies to packets enqueued from now on. This sets the *base*
+  /// rate; an active rate-scale impairment window still multiplies it.
   void set_rate(double rate_bps);
+
+  /// Attach a fault-injection schedule (validated here; throws on nonsense).
+  /// Each window's start/end transitions are scheduled on the sim clock
+  /// immediately, so the schedule must be attached before the run starts or
+  /// with every window still in the future. One schedule per link.
+  void set_impairments(ImpairmentSchedule schedule);
+
+  /// Base rate x the active rate-scale factor (1 outside windows).
+  [[nodiscard]] double effective_rate_bps() const { return config_.rate_bps * rate_factor_; }
+  [[nodiscard]] bool blackout_active() const { return blackout_depth_ > 0; }
 
  private:
   void notify(const TcpSegment& segment, LinkEvent event);
+  void apply_window(const ImpairmentWindow& window, bool begin);
+  void emit_fault_event(ImpairmentKind kind, bool begin);
 
   sim::Simulator& sim_;
   Config config_;
@@ -87,11 +104,20 @@ class Link {
   std::size_t queued_bytes_{0};
   Counters counters_;
 
+  // Fault-injection state, driven by the attached ImpairmentSchedule.
+  ImpairmentSchedule impairments_;
+  double rate_factor_{1.0};
+  sim::Duration extra_delay_{sim::Duration::zero()};
+  std::unique_ptr<LossModel> overlay_loss_;  ///< live only inside a burst window
+  std::uint32_t blackout_depth_{0};          ///< nested same-instant transitions
+
   // Cached registry instruments (shared across all links of one world);
   // null when the world runs unobserved.
   obs::Counter* ctr_delivered_{nullptr};
   obs::Counter* ctr_drops_queue_{nullptr};
   obs::Counter* ctr_drops_loss_{nullptr};
+  obs::Counter* ctr_drops_fault_{nullptr};
+  obs::Counter* ctr_fault_windows_{nullptr};
   obs::Gauge* gauge_queue_high_water_{nullptr};
 };
 

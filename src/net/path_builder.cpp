@@ -1,0 +1,18 @@
+#include "net/path_builder.hpp"
+
+namespace vstream::net {
+
+std::unique_ptr<Path> PathBuilder::build() {
+  auto path = std::make_unique<Path>(sim_, profile_, *rng_, std::move(down_loss_));
+  if (tap_) path->set_tap(std::move(tap_));
+  if (!impairments_.empty()) path->set_impairments(std::move(impairments_));
+  if (cross_.has_value()) {
+    auto cross = std::make_unique<CrossTraffic>(sim_, path->down(), *cross_,
+                                                rng_->fork("cross-traffic"));
+    cross->start();
+    path->adopt_cross_traffic(std::move(cross));
+  }
+  return path;
+}
+
+}  // namespace vstream::net

@@ -1,0 +1,71 @@
+// One construction point for a fully-wired Path.
+//
+// Before this builder existed, session.cpp, the bench support code, and the
+// examples each hand-wired their own combination of loss model, capture
+// tap, and cross-traffic onto a freshly built Path. `PathBuilder` puts all
+// of those attachments — plus the fault-injection `ImpairmentSchedule` —
+// behind one fluent API, so a scenario's network is described in one place:
+//
+//   auto path = net::PathBuilder{sim, profile, rng}
+//                   .impairments(std::move(schedule))
+//                   .cross_traffic({.mean_rate_bps = 20e6})
+//                   .build();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/cross_traffic.hpp"
+#include "net/dynamics.hpp"
+#include "net/path.hpp"
+
+namespace vstream::net {
+
+class PathBuilder {
+ public:
+  /// `rng` is the session stream; the builder forks tagged children for the
+  /// loss models and cross-traffic so attachments stay decorrelated.
+  PathBuilder(sim::Simulator& sim, NetworkProfile profile, sim::Rng& rng)
+      : sim_{sim}, profile_{profile}, rng_{&rng} {}
+
+  /// Override the profile-derived loss model on the data (down) link.
+  PathBuilder& down_loss(std::unique_ptr<LossModel> loss) {
+    down_loss_ = std::move(loss);
+    return *this;
+  }
+
+  /// Install a direction-tagged tap on both links (capture hook).
+  PathBuilder& tap(std::function<void(sim::SimTime, const TcpSegment&, Direction, LinkEvent)> t) {
+    tap_ = std::move(t);
+    return *this;
+  }
+
+  /// Attach a fault-injection schedule to the data (down) link. Validated
+  /// at build().
+  PathBuilder& impairments(ImpairmentSchedule schedule) {
+    impairments_ = std::move(schedule);
+    return *this;
+  }
+
+  /// Inject Poisson cross-traffic bursts onto the down link; the generator
+  /// is owned by the Path and started at build().
+  PathBuilder& cross_traffic(CrossTraffic::Config config) {
+    cross_ = config;
+    return *this;
+  }
+
+  /// Assemble the path with every attachment applied.
+  [[nodiscard]] std::unique_ptr<Path> build();
+
+ private:
+  sim::Simulator& sim_;
+  NetworkProfile profile_;
+  sim::Rng* rng_;
+  std::unique_ptr<LossModel> down_loss_;
+  std::function<void(sim::SimTime, const TcpSegment&, Direction, LinkEvent)> tap_;
+  ImpairmentSchedule impairments_;
+  std::optional<CrossTraffic::Config> cross_;
+};
+
+}  // namespace vstream::net

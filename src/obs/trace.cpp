@@ -74,6 +74,19 @@ struct JsonlWriter {
     field(out, "endpoint", e.endpoint);
     field(out, "duration_s", e.duration_s);
   }
+  void operator()(const LinkFault& e) const {
+    field(out, "t", e.t_s);
+    field(out, "kind", e.kind);
+    field(out, "begin", static_cast<std::uint64_t>(e.begin ? 1 : 0));
+    field(out, "rate_factor", e.rate_factor);
+  }
+  void operator()(const FetchRetry& e) const {
+    field(out, "t", e.t_s);
+    field(out, "attempt", static_cast<std::uint64_t>(e.attempt));
+    field(out, "backoff_s", e.backoff_s);
+    field(out, "remaining_bytes", e.remaining_bytes);
+    field(out, "gave_up", static_cast<std::uint64_t>(e.gave_up ? 1 : 0));
+  }
 };
 
 }  // namespace
@@ -86,6 +99,8 @@ const char* event_type(const TraceEvent& event) {
     const char* operator()(const PlayerStall&) const { return "player_stall"; }
     const char* operator()(const PlayerInterrupt&) const { return "player_interrupt"; }
     const char* operator()(const ZeroWindowEpisode&) const { return "zero_window"; }
+    const char* operator()(const LinkFault&) const { return "link_fault"; }
+    const char* operator()(const FetchRetry&) const { return "fetch_retry"; }
   };
   return std::visit(Namer{}, event);
 }

@@ -71,8 +71,27 @@ struct ZeroWindowEpisode {
   double duration_s{0.0};
 };
 
+/// An impairment window opened (`begin`) or closed on a link (fault
+/// injection, see net/dynamics.hpp).
+struct LinkFault {
+  double t_s{0.0};
+  std::string kind;  ///< "rate_scale" | "delay_spike" | "burst_loss" | "blackout"
+  bool begin{true};
+  double rate_factor{1.0};  ///< effective serialisation-rate factor after the transition
+};
+
+/// A fetch hit its no-progress timeout and is being retried on a fresh
+/// connection after an exponential backoff (streaming/fetch resilience).
+struct FetchRetry {
+  double t_s{0.0};
+  std::uint32_t attempt{0};      ///< 1 for the first retry
+  double backoff_s{0.0};         ///< wait before the reissue
+  std::uint64_t remaining_bytes{0};
+  bool gave_up{false};           ///< retry budget exhausted; fetch abandoned
+};
+
 using TraceEvent = std::variant<TcpCwndSample, SimLoopSample, PacingBlockEmitted, PlayerStall,
-                                PlayerInterrupt, ZeroWindowEpisode>;
+                                PlayerInterrupt, ZeroWindowEpisode, LinkFault, FetchRetry>;
 
 /// Stable type tag used as the JSONL "type" field.
 [[nodiscard]] const char* event_type(const TraceEvent& event);

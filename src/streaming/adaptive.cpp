@@ -58,4 +58,14 @@ bool AdaptiveRateController::on_block(double bytes, double transfer_s, double bu
   return true;
 }
 
+bool AdaptiveRateController::on_fault() {
+  if (index_ == 0) return false;
+  --index_;
+  ++switches_;
+  // Pull the estimate down to the new rung so the next throughput samples
+  // have to earn the upshift back through the normal hysteresis.
+  ewma_bps_ = std::min(ewma_bps_, config_.ladder_bps[index_] / config_.safety_factor);
+  return true;
+}
+
 }  // namespace vstream::streaming

@@ -37,6 +37,11 @@ class AdaptiveRateController {
   /// player's current buffer level. Returns true if the rate switched.
   bool on_block(double bytes, double transfer_s, double buffer_s);
 
+  /// A transport-level fault (request timeout / connection re-establishment)
+  /// is stronger evidence of trouble than any throughput sample: step one
+  /// rung down immediately. Returns true if the rate switched.
+  bool on_fault();
+
   [[nodiscard]] double current_rate_bps() const { return config_.ladder_bps[index_]; }
   [[nodiscard]] std::size_t current_index() const { return index_; }
   [[nodiscard]] std::size_t switch_count() const { return switches_; }

@@ -127,6 +127,14 @@ void NetflixClient::on_fragment_done() {
 
 void NetflixClient::on_cycle() { fetch_block(); }
 
+void NetflixClient::on_fetch_retry(std::uint32_t /*attempt*/) {
+  if (stopped_ || !controller_.has_value()) return;
+  if (controller_->on_fault()) {
+    selected_rate_bps_ = controller_->current_rate_bps();
+    update_cycle_period();
+  }
+}
+
 void NetflixClient::fetch_block() {
   if (stopped_ || block_in_flight_) return;
   const std::uint64_t video_bytes = video_.size_bytes_at(selected_rate_bps_);

@@ -46,6 +46,11 @@ class NetflixClient {
   void start();
   void stop();
 
+  /// Hook for FetchManager::set_on_retry: a request timed out and is being
+  /// retried. In adaptive mode this forces a one-rung bitrate downswitch so
+  /// the re-requested blocks are cheaper to recover.
+  void on_fetch_retry(std::uint32_t attempt);
+
   /// Ladder rate selected for steady-state playback (current rate when the
   /// adaptive extension is on).
   [[nodiscard]] double selected_rate_bps() const { return selected_rate_bps_; }

@@ -19,6 +19,7 @@ Player::Player(sim::Simulator& sim, PlayerConfig config)
   if (obs::ObsContext* obs = sim_.obs()) {
     ctr_stalls_ = &obs->metrics().counter("player.stalls");
     ctr_interrupts_ = &obs->metrics().counter("player.interrupts");
+    ctr_rebuffers_ = &obs->metrics().counter("player.rebuffers");
   }
   clock_.start();
 }
@@ -43,7 +44,14 @@ void Player::maybe_start() {
     if (!stats_.started) {
       stats_.started = true;
       stats_.start_time_s = sim_.now().to_seconds();
+    } else if (stall_started_s_ >= 0.0) {
+      // Recovered from a mid-playback stall: one rebuffer episode.
+      ++stats_.rebuffer_count;
+      stats_.longest_stall_s =
+          std::max(stats_.longest_stall_s, sim_.now().to_seconds() - stall_started_s_);
+      if (ctr_rebuffers_ != nullptr) ctr_rebuffers_->inc();
     }
+    stall_started_s_ = -1.0;
   }
 }
 
@@ -78,6 +86,7 @@ void Player::tick() {
   if (have == 0 && stats_.watched_s < config_.duration_s) {
     // Stall: buffer ran dry mid-playback.
     ++stats_.stall_count;
+    if (stall_started_s_ < 0.0) stall_started_s_ = sim_.now().to_seconds();
     if (ctr_stalls_ != nullptr) ctr_stalls_->inc();
     if (obs::ObsContext* obs = sim_.obs(); obs != nullptr && obs->trace().active()) {
       obs->trace().emit(obs::PlayerStall{sim_.now().to_seconds(), stats_.stall_count});

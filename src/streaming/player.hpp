@@ -41,6 +41,10 @@ struct PlayerStats {
   std::uint64_t consumed_bytes{0};
   std::uint32_t stall_count{0};
   double stall_time_s{0.0};
+  /// Stalls playback actually recovered from (resumed after the buffer
+  /// refilled) — the paper-facing rebuffer count under fault injection.
+  std::uint32_t rebuffer_count{0};
+  double longest_stall_s{0.0};  ///< longest single recovered stall episode
   std::uint64_t max_buffered_bytes{0};  ///< peak playback-buffer occupancy
   bool interrupted{false};
   double interrupted_at_s{0.0};   ///< wall-clock time of the interruption
@@ -86,8 +90,10 @@ class Player {
   PlayerStats stats_;
   bool playing_{false};
   bool done_{false};
+  double stall_started_s_{-1.0};  ///< sim time the current stall began; <0 = none
   obs::Counter* ctr_stalls_{nullptr};
   obs::Counter* ctr_interrupts_{nullptr};
+  obs::Counter* ctr_rebuffers_{nullptr};
   std::function<void()> on_interrupt_;
   std::function<void()> on_finished_;
 };

@@ -23,6 +23,18 @@ SessionConfig base_config(Service service, video::Container container, Applicati
   return cfg;
 }
 
+/// Retry policy tuned for the fault catalog: tight enough that a blackout a
+/// few seconds long triggers application-level recovery inside even a short
+/// test capture, with enough budget to ride out the longest window below.
+RetryPolicy fault_retry_policy() {
+  RetryPolicy policy;
+  policy.request_timeout = sim::Duration::seconds(2.0);
+  policy.backoff_initial = sim::Duration::millis(250);
+  policy.backoff_max = sim::Duration::seconds(2.0);
+  policy.max_retries = 12;
+  return policy;
+}
+
 }  // namespace
 
 std::vector<NamedScenario> canonical_scenarios(double capture_duration_s) {
@@ -86,6 +98,82 @@ std::vector<NamedScenario> canonical_scenarios(double capture_duration_s) {
   return out;
 }
 
+std::vector<NamedScenario> fault_scenarios(double capture_duration_s) {
+  using video::Container;
+  std::vector<NamedScenario> out;
+  const auto at = [&](double fraction) {
+    return sim::SimTime::from_seconds(capture_duration_s * fraction);
+  };
+  const auto lasting = [&](double fraction) {
+    return sim::Duration::seconds(capture_duration_s * fraction);
+  };
+
+  // Mid-download blackout against the ranged iPad fetcher: the watchdog
+  // fires, retries back off through the outage, and the player records a
+  // rebuffer once bytes flow again. The early start keeps the playout
+  // buffer shallow enough that the blackout actually drains it.
+  {
+    auto cfg = base_config(Service::kYouTube, Container::kHtml5, Application::kIosNative,
+                           net::Vantage::kHome, capture_duration_s);
+    cfg.fetch_retry = fault_retry_policy();
+    // A higher encoding rate keeps the iPad's 10 MB initial buffer short in
+    // playback seconds, so the blackout can actually drain it.
+    cfg.video.encoding_bps = 4e6;
+    cfg.impairments.blackout(at(0.10), lasting(0.35));
+    out.push_back(NamedScenario{"fault-blackout-youtube-ipad-home", std::move(cfg)});
+  }
+
+  // Gilbert-Elliott burst-loss window layered over the Residence profile's
+  // base loss, with adaptive bitrate on: the retry callback feeds the rate
+  // controller, so sustained loss shows up as a downswitch, not a hang.
+  {
+    auto cfg = base_config(Service::kNetflix, Container::kSilverlight,
+                           Application::kInternetExplorer, net::Vantage::kResidence,
+                           capture_duration_s);
+    cfg.fetch_retry = fault_retry_policy();
+    cfg.adaptive_bitrate = true;
+    cfg.impairments.burst_loss(at(0.15), lasting(0.30), /*rate=*/0.12, /*burst_len=*/5.0);
+    out.push_back(NamedScenario{"fault-burstloss-netflix-pc-residence", std::move(cfg)});
+  }
+
+  // Congestion onset as a rate halving across the middle of the capture —
+  // the persistent-connection Android client keeps its one connection and
+  // simply slows; recovery is transport-level, resilience stats stay near
+  // zero. This is the "impairment without drama" control scenario.
+  {
+    auto cfg = base_config(Service::kNetflix, Container::kSilverlight,
+                           Application::kAndroidNative, net::Vantage::kResidence,
+                           capture_duration_s);
+    cfg.fetch_retry = fault_retry_policy();
+    cfg.impairments.rate_scale(at(0.20), lasting(0.40), /*factor=*/0.5);
+    out.push_back(NamedScenario{"fault-ratehalving-netflix-android-residence", std::move(cfg)});
+  }
+
+  // Classic link flap against the greedy Flash download: the single
+  // connection rides the outages on TCP's own RTO schedule (no fetch-level
+  // watchdog drama), exercising blackout transitions without FetchManager.
+  {
+    auto cfg = base_config(Service::kYouTube, Container::kFlash, Application::kInternetExplorer,
+                           net::Vantage::kResearch, capture_duration_s);
+    cfg.impairments.link_flap(at(0.20), /*down=*/lasting(0.04), /*up=*/lasting(0.08),
+                              /*count=*/3);
+    out.push_back(NamedScenario{"fault-linkflap-youtube-flash-research", std::move(cfg)});
+  }
+
+  // Delay spike plus a short blackout of a different kind overlapping it:
+  // validates that mixed-kind overlap composes (bufferbloat during an
+  // outage window edge) and stays deterministic.
+  {
+    auto cfg = base_config(Service::kYouTube, Container::kHtml5, Application::kChrome,
+                           net::Vantage::kAcademic, capture_duration_s);
+    cfg.impairments.delay_spike(at(0.25), lasting(0.25), sim::Duration::millis(150))
+        .blackout(at(0.30), lasting(0.05));
+    out.push_back(NamedScenario{"fault-delayspike-youtube-chrome-academic", std::move(cfg)});
+  }
+
+  return out;
+}
+
 RunFingerprint fingerprint_session(const SessionConfig& config) {
   check::StateDigest digest;
   SessionConfig cfg = config;
@@ -102,6 +190,12 @@ RunFingerprint fingerprint_session(const SessionConfig& config) {
   digest.mix(static_cast<std::uint64_t>(result.connections));
   digest.mix(result.player.downloaded_bytes);
   digest.mix(result.player.consumed_bytes);
+  // Recovery dynamics are part of the outcome under fault injection: two
+  // runs that downloaded the same bytes via different retry/rebuffer paths
+  // must not fingerprint equal.
+  digest.mix(static_cast<std::uint64_t>(result.resilience.fetch_retries));
+  digest.mix(static_cast<std::uint64_t>(result.resilience.rebuffer_count));
+  digest.mix(result.resilience.fault_drops);
   fp.digest = digest.value();
   fp.words_mixed = digest.words_mixed();
   return fp;

@@ -24,6 +24,16 @@ struct NamedScenario {
 /// every scenario's capture window (the paper used 180 s; tests use less).
 [[nodiscard]] std::vector<NamedScenario> canonical_scenarios(double capture_duration_s = 180.0);
 
+/// Fault-injection catalog (net/dynamics.hpp): sessions that hit blackouts,
+/// burst-loss windows, rate halvings, and link flaps mid-stream, with the
+/// retry/rebuffer machinery enabled. Kept separate from the canonical
+/// catalog because these sessions carry non-zero ResilienceStats, which the
+/// packet-only batch path cannot derive on its own. Fault windows are
+/// positioned relative to `capture_duration_s` so the faults always land
+/// mid-capture, whatever the window; the determinism audit runs these
+/// twin-run, same as the canonical set.
+[[nodiscard]] std::vector<NamedScenario> fault_scenarios(double capture_duration_s = 180.0);
+
 /// The determinism fingerprint of one scenario run: the simulator digest
 /// (event order + TCP state snapshots) with the run's headline results
 /// folded in, so divergence in either the event schedule or the outcome

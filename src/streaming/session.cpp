@@ -9,6 +9,7 @@
 #include "check/digest.hpp"
 #include "http/exchange.hpp"
 #include "net/path.hpp"
+#include "net/path_builder.hpp"
 #include "obs/context.hpp"
 #include "streaming/auxiliary.hpp"
 #include "streaming/clients.hpp"
@@ -79,9 +80,11 @@ struct World {
   explicit World(const SessionConfig& cfg)
       : rng{cfg.seed},
         obs_wired{(sim.set_obs(&obs), true)},
-        path{sim, jittered(cfg, rng), rng},
-        fabric{sim, path},
-        recorder{sim, path} {
+        path{net::PathBuilder{sim, jittered(cfg, rng), rng}
+                 .impairments(cfg.impairments)
+                 .build()},
+        fabric{sim, *path},
+        recorder{sim, *path} {
     recorder.start();
   }
 
@@ -92,7 +95,7 @@ struct World {
   // pointers in their constructors.
   obs::ObsContext obs;
   bool obs_wired;
-  net::Path path;
+  std::unique_ptr<net::Path> path;
   tcp::Fabric fabric;
   capture::TraceRecorder recorder;
 };
@@ -116,13 +119,28 @@ struct PlayerCell {
 
 }  // namespace
 
+void SessionConfig::validate() const {
+  if (!combination_supported(service, container, application)) {
+    throw std::invalid_argument{"SessionConfig: combination not applicable (Table 1)"};
+  }
+  if (video.encoding_bps <= 0.0 || video.duration_s <= 0.0) {
+    throw std::invalid_argument{"SessionConfig: invalid video metadata"};
+  }
+  if (capture_duration_s <= 0.0) {
+    throw std::invalid_argument{"SessionConfig: capture duration must be positive"};
+  }
+  if (watch_fraction.has_value() && (*watch_fraction <= 0.0 || *watch_fraction > 1.0)) {
+    throw std::invalid_argument{"SessionConfig: watch fraction outside (0,1]"};
+  }
+  if (bandwidth_jitter < 0.0) {
+    throw std::invalid_argument{"SessionConfig: bandwidth jitter must be non-negative"};
+  }
+  fetch_retry.validate();
+  impairments.validate();
+}
+
 SessionResult run_session(const SessionConfig& cfg) {
-  if (!combination_supported(cfg.service, cfg.container, cfg.application)) {
-    throw std::invalid_argument{"run_session: combination not applicable (Table 1)"};
-  }
-  if (cfg.video.encoding_bps <= 0.0 || cfg.video.duration_s <= 0.0) {
-    throw std::invalid_argument{"run_session: invalid video metadata"};
-  }
+  cfg.validate();
 
   World w{cfg};
   if (cfg.trace_sink != nullptr) w.obs.trace().attach(cfg.trace_sink);
@@ -209,7 +227,7 @@ SessionResult run_session(const SessionConfig& cfg) {
           icfg.initial_buffer_bytes = mb(knob_rng.uniform(8.0, 12.0));
           fetches = std::make_unique<FetchManager>(w.sim, w.fabric, cfg.video,
                                                    client_options_with_buffer(512 * 1024),
-                                                   tcp::TcpOptions{});
+                                                   tcp::TcpOptions{}, cfg.fetch_retry);
           ipad = std::make_unique<IpadYouTubeClient>(w.sim, *fetches, cfg.video, icfg,
                                                      cell.sink());
           ipad->start();
@@ -255,10 +273,16 @@ SessionResult run_session(const SessionConfig& cfg) {
       // the CDN's RFC 5681 idle restart shows as an ack clock (Fig 9/§5.2.2).
       server_opts.reset_cwnd_after_idle = true;
     }
-    fetches = std::make_unique<FetchManager>(
-        w.sim, w.fabric, cfg.video, client_options_with_buffer(512 * 1024), server_opts);
+    profile.adaptive = cfg.adaptive_bitrate;
+    fetches = std::make_unique<FetchManager>(w.sim, w.fabric, cfg.video,
+                                             client_options_with_buffer(512 * 1024), server_opts,
+                                             cfg.fetch_retry);
     netflix = std::make_unique<NetflixClient>(w.sim, *fetches, cfg.video, profile,
                                               cfg.network.down_bps, cell.sink());
+    // Bitrate downswitch on transport faults: a timed-out request is
+    // stronger evidence of congestion than any throughput sample.
+    NetflixClient* nf = netflix.get();
+    fetches->set_on_retry([nf](std::uint32_t attempt) { nf->on_fetch_retry(attempt); });
     player_rate_bps = netflix->selected_rate_bps();
     netflix->start();
   }
@@ -283,6 +307,23 @@ SessionResult run_session(const SessionConfig& cfg) {
 
   loop_monitor.stop();
   if (auxiliary) auxiliary->stop();
+
+  // Fault/recovery accounting, gathered from every layer that participated:
+  // the fetch retry machinery, the player's rebuffer tracking, and the
+  // impaired downstream link.
+  analysis::ResilienceStats resilience;
+  if (fetches) {
+    resilience.fetch_retries = fetches->retries();
+    resilience.fetch_timeouts = fetches->timeouts();
+    resilience.fetch_abandoned = fetches->abandoned();
+  }
+  resilience.rebuffer_count = player.stats().rebuffer_count;
+  resilience.stall_count = player.stats().stall_count;
+  resilience.stall_time_s = player.stats().stall_time_s;
+  resilience.longest_stall_s = player.stats().longest_stall_s;
+  resilience.fault_drops = w.path->down().counters().dropped_fault;
+  resilience.fault_windows = w.path->down().counters().fault_windows;
+  if (netflix) resilience.rate_switches = netflix->rate_switches();
 
   // Assemble the result the way the paper's pipeline would see it: the
   // capture, then the filter to the video CDN's connections (Section 2) —
@@ -315,11 +356,13 @@ SessionResult run_session(const SessionConfig& cfg) {
     live_report->set_label(result.trace.label);
     live_report->set_duration_s(cfg.capture_duration_s);
     live_report->set_encoding_bps(result.encoding_bps_estimated);
+    live_report->set_resilience(resilience);
     result.report = live_report->finish();
     w.recorder.set_record_sink({});
   }
 
   result.player = player.stats();
+  result.resilience = resilience;
   result.interrupted_at_s = result.player.interrupted ? result.player.interrupted_at_s : 0.0;
   if (greedy) result.bytes_downloaded = greedy->bytes_read();
   if (pull) result.bytes_downloaded = pull->bytes_read();

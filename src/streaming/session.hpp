@@ -15,9 +15,11 @@
 
 #include "analysis/report.hpp"
 #include "capture/trace_view.hpp"
+#include "net/dynamics.hpp"
 #include "net/profile.hpp"
 #include "obs/metrics.hpp"
 #include "streaming/player.hpp"
+#include "streaming/retry.hpp"
 #include "video/metadata.hpp"
 
 namespace vstream::check {
@@ -93,6 +95,23 @@ struct SessionConfig {
   /// `SessionReport` (field-identical to the batch `build_report` over the
   /// video trace) to the result.
   bool streaming_report{false};
+  /// Fault injection: deterministic impairment windows applied to the
+  /// downstream access link (rate scaling, delay spikes, burst loss,
+  /// blackouts / link flaps). Empty = the usual fault-free run.
+  net::ImpairmentSchedule impairments;
+  /// Application-level recovery for the fetch-based clients: no-progress
+  /// request timeout, bounded exponential backoff, TCP re-establishment.
+  RetryPolicy fetch_retry;
+  /// Extension: let the Netflix client adapt its encoding rate mid-stream
+  /// (per-block throughput + fault downswitch) instead of the paper's fixed
+  /// selection.
+  bool adaptive_bitrate{false};
+
+  /// Reject impossible configurations up front (negative durations, watch
+  /// fractions outside (0,1], invalid retry/impairment parameters, Table 1
+  /// combinations the paper marks "Not Applicable"). `run_session` calls
+  /// this; `SessionBuilder::build()` calls it at construction time.
+  void validate() const;
 };
 
 struct SessionResult {
@@ -118,6 +137,12 @@ struct SessionResult {
   double encoding_bps_true{0.0};       ///< ground truth (or selected Netflix rate)
   double encoding_bps_estimated{0.0};  ///< what the paper's pipeline would infer
   double interrupted_at_s{0.0};        ///< 0 when not interrupted
+  /// Fault/recovery accounting for the run (all-zero when fault-free):
+  /// retries and timeouts from the fetch layer, rebuffers from the player,
+  /// blackout drops and window counts from the impaired link. Mirror it
+  /// into `analysis::ReportOptions::resilience` when batch-building a
+  /// report for this session.
+  analysis::ResilienceStats resilience;
   /// Snapshot of the session's metrics registry at the end of the run.
   obs::MetricsSnapshot metrics;
   std::uint64_t sim_events{0};            ///< discrete events the simulator ran

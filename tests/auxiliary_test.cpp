@@ -6,24 +6,26 @@
 #include "analysis/strategy.hpp"
 #include "net/profile.hpp"
 #include "streaming/auxiliary.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 
 namespace vstream {
 namespace {
 
 streaming::SessionConfig flash_config(bool aux) {
-  streaming::SessionConfig cfg;
-  cfg.service = streaming::Service::kYouTube;
-  cfg.container = video::Container::kFlash;
-  cfg.application = streaming::Application::kInternetExplorer;
-  cfg.network = net::profile_for(net::Vantage::kResearch);
-  cfg.video.id = "aux";
-  cfg.video.duration_s = 600.0;
-  cfg.video.encoding_bps = 1e6;
-  cfg.capture_duration_s = 120.0;
-  cfg.seed = 99;
-  cfg.auxiliary_traffic = aux;
-  return cfg;
+  video::VideoMeta meta;
+  meta.id = "aux";
+  meta.duration_s = 600.0;
+  meta.encoding_bps = 1e6;
+  return streaming::SessionBuilder{}
+      .service(streaming::Service::kYouTube)
+      .container(video::Container::kFlash)
+      .application(streaming::Application::kInternetExplorer)
+      .vantage(net::Vantage::kResearch)
+      .video(meta)
+      .capture_duration_s(120.0)
+      .seed(99)
+      .auxiliary_traffic(aux)
+      .build();
 }
 
 TEST(AuxiliaryTest, FullTraceContainsAuxAndVideoHosts) {

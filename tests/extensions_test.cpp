@@ -10,7 +10,7 @@
 #include "net/cross_traffic.hpp"
 #include "net/path.hpp"
 #include "net/profile.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "tcp/connection.hpp"
 
 namespace vstream {
@@ -59,13 +59,15 @@ TEST(JsonTest, FlowTableArray) {
 }
 
 TEST(JsonTest, FullSessionReportIsWellFormedEnough) {
-  streaming::SessionConfig cfg;
-  cfg.network = net::profile_for(net::Vantage::kResearch);
-  cfg.video.id = "j";
-  cfg.video.duration_s = 300.0;
-  cfg.video.encoding_bps = 1e6;
-  cfg.capture_duration_s = 60.0;
-  const auto result = streaming::run_session(cfg);
+  video::VideoMeta meta;
+  meta.id = "j";
+  meta.duration_s = 300.0;
+  meta.encoding_bps = 1e6;
+  const auto result = streaming::SessionBuilder{}
+                          .vantage(net::Vantage::kResearch)
+                          .video(meta)
+                          .capture_duration_s(60.0)
+                          .run();
   const auto report = analysis::build_report(result.trace);
   const std::string json = analysis::to_json(report);
   // Balanced braces and quotes (cheap well-formedness checks).

@@ -8,7 +8,7 @@
 #include "streaming/adaptive.hpp"
 #include "streaming/fetch.hpp"
 #include "streaming/netflix_client.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "video/datasets.hpp"
 
 namespace vstream {
@@ -87,18 +87,20 @@ TEST(FlowTableTest, RenderListsEveryFlow) {
 }
 
 TEST(FlowTableTest, IpadSessionHasManyRangedFlows) {
-  streaming::SessionConfig cfg;
-  cfg.service = streaming::Service::kYouTube;
-  cfg.container = video::Container::kHtml5;
-  cfg.application = streaming::Application::kIosNative;
-  cfg.network = net::profile_for(net::Vantage::kResearch);
-  cfg.video.id = "f";
-  cfg.video.duration_s = 900.0;
-  cfg.video.encoding_bps = 2e6;
-  cfg.video.container = video::Container::kHtml5;
-  cfg.capture_duration_s = 120.0;
-  cfg.seed = 77;
-  const auto result = streaming::run_session(cfg);
+  video::VideoMeta meta;
+  meta.id = "f";
+  meta.duration_s = 900.0;
+  meta.encoding_bps = 2e6;
+  meta.container = video::Container::kHtml5;
+  const auto result = streaming::SessionBuilder{}
+                          .service(streaming::Service::kYouTube)
+                          .container(video::Container::kHtml5)
+                          .application(streaming::Application::kIosNative)
+                          .vantage(net::Vantage::kResearch)
+                          .video(meta)
+                          .capture_duration_s(120.0)
+                          .seed(77)
+                          .run();
   const auto table = analysis::build_flow_table(result.trace);
   EXPECT_GE(table.size(), 10U);
   // Paper: per-connection amounts from 64 kB up to 8 MB.

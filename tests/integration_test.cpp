@@ -11,7 +11,7 @@
 #include "capture/pcap.hpp"
 #include "model/interruption.hpp"
 #include "net/profile.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "video/datasets.hpp"
 
 namespace vstream {
@@ -23,19 +23,21 @@ using video::Container;
 
 streaming::SessionConfig base_config(Container container, Application app,
                                      net::Vantage vantage = net::Vantage::kResearch) {
-  streaming::SessionConfig cfg;
-  cfg.service = Service::kYouTube;
-  cfg.container = container;
-  cfg.application = app;
-  cfg.network = net::profile_for(vantage);
-  cfg.video.id = "it";
-  cfg.video.duration_s = 600.0;
-  cfg.video.encoding_bps = 1e6;
-  cfg.video.resolution = video::Resolution::k360p;
-  cfg.video.container = container;
-  cfg.capture_duration_s = 120.0;
-  cfg.seed = 314;
-  return cfg;
+  video::VideoMeta meta;
+  meta.id = "it";
+  meta.duration_s = 600.0;
+  meta.encoding_bps = 1e6;
+  meta.resolution = video::Resolution::k360p;
+  meta.container = container;
+  return streaming::SessionBuilder{}
+      .service(Service::kYouTube)
+      .container(container)
+      .application(app)
+      .vantage(vantage)
+      .video(meta)
+      .capture_duration_s(120.0)
+      .seed(314)
+      .build();
 }
 
 TEST(IntegrationTest, PcapRoundTripPreservesAnalysis) {

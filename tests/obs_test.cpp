@@ -16,7 +16,7 @@
 #include "net/profile.hpp"
 #include "obs/context.hpp"
 #include "streaming/clients.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "streaming/video_server.hpp"
 #include "tcp/connection.hpp"
 
@@ -292,20 +292,24 @@ TEST(ObsIntegrationTest, NoSinkProbesStillMaintainCounters) {
 
 TEST(ObsIntegrationTest, CwndJsonlTraceReconstructsZeroWindowEpisodes) {
   const std::string path = ::testing::TempDir() + "obs_cwnd_roundtrip.jsonl";
-  streaming::SessionConfig cfg;
-  cfg.service = streaming::Service::kYouTube;
-  cfg.container = video::Container::kHtml5;
-  cfg.application = streaming::Application::kInternetExplorer;
-  cfg.network = net::profile_for(net::Vantage::kResearch);
-  cfg.network.loss_rate = 0.0;  // lossless: wire order == receive order
-  cfg.bandwidth_jitter = 0.0;
-  cfg.auxiliary_traffic = false;
-  cfg.video.id = "rt";
-  cfg.video.duration_s = 600.0;
-  cfg.video.encoding_bps = 2e6;
-  cfg.video.container = video::Container::kHtml5;
-  cfg.capture_duration_s = 120.0;
-  cfg.seed = 17;
+  auto network = net::profile_for(net::Vantage::kResearch);
+  network.loss_rate = 0.0;  // lossless: wire order == receive order
+  video::VideoMeta meta;
+  meta.id = "rt";
+  meta.duration_s = 600.0;
+  meta.encoding_bps = 2e6;
+  meta.container = video::Container::kHtml5;
+  auto cfg = streaming::SessionBuilder{}
+                 .service(streaming::Service::kYouTube)
+                 .container(video::Container::kHtml5)
+                 .application(streaming::Application::kInternetExplorer)
+                 .network(network)
+                 .bandwidth_jitter(0.0)
+                 .auxiliary_traffic(false)
+                 .video(meta)
+                 .capture_duration_s(120.0)
+                 .seed(17)
+                 .build();
 
   std::size_t expected = 0;
   {

@@ -10,7 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "runner/parallel_sweep.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 
 namespace vstream::runner {
 namespace {
@@ -29,16 +29,18 @@ std::string deterministic_json(obs::MetricsSnapshot snapshot) {
 std::vector<streaming::SessionConfig> sweep_configs() {
   std::vector<streaming::SessionConfig> configs;
   for (std::size_t i = 0; i < 5; ++i) {
-    streaming::SessionConfig cfg;
-    cfg.network = net::profile_for(net::Vantage::kResearch);
-    cfg.video.id = "sweep-test";
-    cfg.video.duration_s = 120.0;
-    cfg.video.encoding_bps = 1.0e6 + 1.0e5 * static_cast<double>(i);
-    cfg.video.container = i % 2 == 0 ? video::Container::kFlash : video::Container::kHtml5;
-    cfg.container = cfg.video.container;
-    cfg.capture_duration_s = 8.0;
-    cfg.seed = 4000 + i;
-    configs.push_back(cfg);
+    video::VideoMeta meta;
+    meta.id = "sweep-test";
+    meta.duration_s = 120.0;
+    meta.encoding_bps = 1.0e6 + 1.0e5 * static_cast<double>(i);
+    meta.container = i % 2 == 0 ? video::Container::kFlash : video::Container::kHtml5;
+    configs.push_back(streaming::SessionBuilder{}
+                          .vantage(net::Vantage::kResearch)
+                          .video(meta)
+                          .container(meta.container)
+                          .capture_duration_s(8.0)
+                          .seed(4000 + i)
+                          .build());
   }
   return configs;
 }

@@ -4,25 +4,27 @@
 #include "analysis/report.hpp"
 #include "model/migration.hpp"
 #include "net/profile.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 
 namespace vstream {
 namespace {
 
 streaming::SessionConfig flash_config() {
-  streaming::SessionConfig cfg;
-  cfg.service = streaming::Service::kYouTube;
-  cfg.container = video::Container::kFlash;
-  cfg.application = streaming::Application::kInternetExplorer;
   auto network = net::profile_for(net::Vantage::kResearch);
   network.loss_rate = 0.0;
-  cfg.network = network;
-  cfg.video.id = "r";
-  cfg.video.duration_s = 600.0;
-  cfg.video.encoding_bps = 1e6;
-  cfg.capture_duration_s = 120.0;
-  cfg.seed = 5;
-  return cfg;
+  video::VideoMeta meta;
+  meta.id = "r";
+  meta.duration_s = 600.0;
+  meta.encoding_bps = 1e6;
+  return streaming::SessionBuilder{}
+      .service(streaming::Service::kYouTube)
+      .container(video::Container::kFlash)
+      .application(streaming::Application::kInternetExplorer)
+      .network(network)
+      .video(meta)
+      .capture_duration_s(120.0)
+      .seed(5)
+      .build();
 }
 
 TEST(SessionReportTest, FlashSessionFieldsPopulated) {

@@ -47,6 +47,25 @@ TEST(StreamingReportTest, CatalogScenariosBatchIdentical) {
   }
 }
 
+TEST(StreamingReportTest, FaultScenariosBatchIdenticalWithMirroredResilience) {
+  // Fault runs carry non-zero ResilienceStats that only the session knows
+  // (retries, rebuffers, fault drops are not derivable from packets). The
+  // equivalence contract still holds once the batch side is handed the same
+  // stats via ReportOptions::resilience — exactly how SessionResult
+  // documents they should be mirrored.
+  for (const auto& scenario : streaming::fault_scenarios(15.0)) {
+    auto cfg = scenario.config;
+    cfg.streaming_report = true;
+    const auto result = streaming::run_session(cfg);
+    ASSERT_TRUE(result.report.has_value()) << scenario.name;
+    analysis::ReportOptions options;
+    options.resilience = result.resilience;
+    const auto batch = analysis::build_report(result.video_trace(), options);
+    EXPECT_EQ(*result.report, batch) << scenario.name;
+    EXPECT_EQ(analysis::to_json(*result.report), analysis::to_json(batch)) << scenario.name;
+  }
+}
+
 TEST(StreamingReportTest, StoreTraceOffStillDeliversTheReport) {
   auto scenarios = streaming::canonical_scenarios(20.0);
   ASSERT_FALSE(scenarios.empty());

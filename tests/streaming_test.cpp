@@ -13,7 +13,7 @@
 #include "streaming/ipad_client.hpp"
 #include "streaming/netflix_client.hpp"
 #include "streaming/player.hpp"
-#include "streaming/session.hpp"
+#include "streaming/session_builder.hpp"
 #include "streaming/video_server.hpp"
 #include "video/datasets.hpp"
 
@@ -469,11 +469,12 @@ TEST(SessionTest, InvalidVideoThrows) {
 }
 
 TEST(SessionTest, DeterministicForSameSeed) {
-  SessionConfig cfg;
-  cfg.network = lossless();
-  cfg.video = test_video(300.0, 1e6);
-  cfg.capture_duration_s = 30.0;
-  cfg.seed = 77;
+  const auto cfg = SessionBuilder{}
+                       .network(lossless())
+                       .video(test_video(300.0, 1e6))
+                       .capture_duration_s(30.0)
+                       .seed(77)
+                       .build();
   const auto a = run_session(cfg);
   const auto b = run_session(cfg);
   EXPECT_EQ(a.bytes_downloaded, b.bytes_downloaded);
@@ -481,11 +482,12 @@ TEST(SessionTest, DeterministicForSameSeed) {
 }
 
 TEST(SessionTest, InterruptionStopsDownload) {
-  SessionConfig cfg;
-  cfg.network = lossless();
-  cfg.video = test_video(300.0, 1e6);
-  cfg.capture_duration_s = 180.0;
-  cfg.watch_fraction = 0.2;  // interrupt after 60 s of content
+  const auto cfg = SessionBuilder{}
+                       .network(lossless())
+                       .video(test_video(300.0, 1e6))
+                       .capture_duration_s(180.0)
+                       .watch_fraction(0.2)  // interrupt after 60 s of content
+                       .build();
   const auto result = run_session(cfg);
   EXPECT_TRUE(result.player.interrupted);
   EXPECT_GT(result.interrupted_at_s, 0.0);

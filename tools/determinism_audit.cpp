@@ -1,5 +1,5 @@
-// Determinism audit: run every canonical scenario twice with the same seed
-// and fail loudly if the twin state digests diverge.
+// Determinism audit: run every canonical and fault-injection scenario twice
+// with the same seed and fail loudly if the twin state digests diverge.
 //
 // The digest folds the simulator's event dispatch order and per-segment TCP
 // state snapshots (see check/digest.hpp), so it catches the nondeterminism
@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <vector>
 
 #include "runner/parallel_sweep.hpp"
@@ -26,6 +27,19 @@
 #include "streaming/scenarios.hpp"
 
 namespace {
+
+/// The audited catalog: every canonical Table-1 scenario plus the fault
+/// catalog (blackouts, burst-loss windows, rate halvings, link flaps). The
+/// fault runs are the ones most likely to smoke out nondeterminism — retry
+/// timers, impairment transitions, and loss overlays all reschedule events —
+/// so they are audited with exactly the same twin-run bar as healthy runs.
+std::vector<vstream::streaming::NamedScenario> audited_catalog(double seconds) {
+  auto scenarios = vstream::streaming::canonical_scenarios(seconds);
+  auto faults = vstream::streaming::fault_scenarios(seconds);
+  scenarios.insert(scenarios.end(), std::make_move_iterator(faults.begin()),
+                   std::make_move_iterator(faults.end()));
+  return scenarios;
+}
 
 int run_canary() {
   // Same nonce twice -> identical digests; different nonce -> different
@@ -54,7 +68,7 @@ int run_canary() {
 /// snapshots + headline results) must match bit-for-bit; any divergence
 /// means threading leaked into a simulation path.
 int run_parallel_audit(double seconds, std::size_t jobs) {
-  const auto scenarios = vstream::streaming::canonical_scenarios(seconds);
+  const auto scenarios = audited_catalog(seconds);
   std::vector<vstream::streaming::RunFingerprint> serial;
   serial.reserve(scenarios.size());
   for (const auto& scenario : scenarios) {
@@ -99,7 +113,7 @@ int main(int argc, char** argv) {
   if (canary) return run_canary();
   if (jobs > 0) return run_parallel_audit(seconds, jobs);
 
-  const auto scenarios = vstream::streaming::canonical_scenarios(seconds);
+  const auto scenarios = audited_catalog(seconds);
   int divergent = 0;
   for (const auto& scenario : scenarios) {
     const auto first = vstream::streaming::fingerprint_session(scenario.config);

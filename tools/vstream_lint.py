@@ -33,6 +33,14 @@ Rules (all scoped to C++ sources):
                Scope: src/, examples/, tools/, bench/; src/capture/ exempt
                (the legacy filters live there and TraceView::materialize
                uses them on purpose).
+  sim-time     retry/backoff and impairment-schedule code must time itself
+               exclusively on the simulation clock: no std::chrono types,
+               no sleep_for/sleep_until/usleep/nanosleep. A wall-clock nap
+               in a watchdog or a backoff would silently decouple recovery
+               from sim time and break twin-run digest determinism.
+               Scope: ONLY src/net/dynamics.*, src/streaming/retry.hpp and
+               src/streaming/fetch.* (the first rule that applies to named
+               files rather than whole directories).
 
 Waivers: append `// vstream-lint: allow(<rule>): <reason>` to the offending
 line, or put `// vstream-lint-file: allow(<rule>): <reason>` anywhere in the
@@ -103,6 +111,16 @@ RULES = {
         "copy-returning trace filter; use the zero-copy capture::TraceView combinators",
         ("src", "examples", "tools", "bench"),
     ),
+    "sim-time": (
+        re.compile(
+            r"std::chrono::"
+            r"|(?<![\w:])sleep_(?:for|until)\s*\("
+            r"|(?<![\w:])u?sleep\s*\("
+            r"|(?<![\w:])nanosleep\s*\("
+        ),
+        "retry/backoff and impairment schedules must use sim::Time/sim::Duration, never wall-clock",
+        ("src",),
+    ),
 }
 
 # rule -> path prefixes (relative to the repo root) where it does not apply.
@@ -113,6 +131,23 @@ RULE_EXEMPT_PREFIXES = {
     # The legacy copy filters are defined in src/capture, and
     # TraceView::materialize delegates to them deliberately.
     "trace-copy": (("src", "capture"),),
+}
+
+# rule -> path prefixes the rule is restricted to: it fires ONLY under one of
+# them (the inverse of RULE_EXEMPT_PREFIXES). A prefix may name a directory
+# or, with a final filename component, a single file. Used for rules that
+# enforce a contract of one subsystem rather than a repo-wide convention.
+RULE_ONLY_PREFIXES = {
+    # Retry/backoff timers and impairment schedules are *simulated* time by
+    # contract: a std::chrono duration or a sleep would tie recovery to the
+    # host clock and break twin-run digest determinism.
+    "sim-time": (
+        ("src", "net", "dynamics.hpp"),
+        ("src", "net", "dynamics.cpp"),
+        ("src", "streaming", "retry.hpp"),
+        ("src", "streaming", "fetch.hpp"),
+        ("src", "streaming", "fetch.cpp"),
+    ),
 }
 
 COMMENT_ONLY = re.compile(r"^\s*(//|\*|/\*)")
@@ -146,6 +181,11 @@ def lint_file(path: Path, root: Path) -> list[str]:
                 continue
             exempt = RULE_EXEMPT_PREFIXES.get(rule, ())
             if any(rel.parts[: len(prefix)] == prefix for prefix in exempt):
+                continue
+            only = RULE_ONLY_PREFIXES.get(rule)
+            if only is not None and not any(
+                rel.parts[: len(prefix)] == prefix for prefix in only
+            ):
                 continue
             if pattern.search(code):
                 findings.append(f"{rel}:{lineno}: [{rule}] {message}\n    {line.strip()}")
