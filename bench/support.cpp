@@ -66,9 +66,27 @@ std::vector<SessionOutcome> run_and_analyze_all(
   // Workers touch no shared state (each session is its own world); the
   // RunTelemetry singleton is not thread-safe, so the fold happens here,
   // serially, in submission order — same aggregate as the serial path.
-  out = pool.map<SessionOutcome>(configs.size(),
-                                 [&configs](std::size_t i) { return analyze_only(configs[i]); });
-  for (const auto& outcome : out) RunTelemetry::instance().record(outcome);
+  // Each worker times its own run/analyze phases against the profiler —
+  // distinct cache-line-padded cells, no synchronization on the hot path.
+  runner::SweepProfiler profiler{pool.jobs()};
+  out = pool.map<SessionOutcome>(configs.size(), [&configs, &profiler](std::size_t i) {
+    const std::size_t worker = runner::ParallelSweep::current_worker();
+    SessionOutcome o;
+    {
+      const runner::SweepProfiler::Scope run_scope{&profiler, worker, runner::SweepPhase::kRun};
+      o.result = streaming::run_session(configs[i]);
+    }
+    const runner::SweepProfiler::Scope analyze_scope{&profiler, worker,
+                                                     runner::SweepPhase::kAnalyze};
+    o.analysis = analysis::analyze_on_off(o.result.trace);
+    o.decision = analysis::classify_strategy(o.analysis, o.result.trace);
+    return o;
+  });
+  {
+    const runner::SweepProfiler::Scope merge_scope{&profiler, 0, runner::SweepPhase::kMerge};
+    for (const auto& outcome : out) RunTelemetry::instance().record(outcome);
+  }
+  RunTelemetry::instance().record_sweep(profiler.summary());
   return out;
 }
 
@@ -260,6 +278,15 @@ void RunTelemetry::record(const SessionOutcome& outcome) {
   merged_.merge_from(outcome.result.metrics);
 }
 
+void RunTelemetry::record_sweep(const runner::SweepProfiler::Summary& summary) {
+  if (!enabled()) return;
+  sweep_wall_s_ += summary.wall_s;
+  sweep_busy_s_ += summary.busy_s();
+  sweep_capacity_s_ += summary.wall_s * static_cast<double>(summary.workers);
+  sweep_tasks_ += summary.tasks();
+  sweep_workers_ = std::max(sweep_workers_, summary.workers);
+}
+
 void RunTelemetry::note_metric(const std::string& name, double value) {
   if (!enabled()) return;
   extra_[name] = value;
@@ -286,6 +313,13 @@ void RunTelemetry::finalize() {
   append_json_number(out, median_of(block_sizes_bytes_) / 1024.0);
   out += ",\"median_accumulation_ratio\":";
   append_json_number(out, median_of(accumulation_ratios_));
+  if (sweep_capacity_s_ > 0.0) {
+    extra_["sweep_wall_s"] = sweep_wall_s_;
+    extra_["sweep_busy_s"] = sweep_busy_s_;
+    extra_["sweep_tasks"] = static_cast<double>(sweep_tasks_);
+    extra_["sweep_workers"] = static_cast<double>(sweep_workers_);
+    extra_["sweep_utilization"] = sweep_busy_s_ / sweep_capacity_s_;
+  }
   out += ",\"extra\":{";
   bool first = true;
   for (const auto& [k, v] : extra_) {

@@ -21,6 +21,7 @@
 #include "net/profile.hpp"
 #include "obs/metrics.hpp"
 #include "runner/parallel_sweep.hpp"
+#include "runner/sweep_profiler.hpp"
 #include "stats/cdf.hpp"
 #include "streaming/session.hpp"
 #include "video/datasets.hpp"
@@ -116,6 +117,12 @@ class RunTelemetry {
   /// Fold one analysed session into the aggregate (no-op when disabled).
   void record(const SessionOutcome& outcome);
 
+  /// Fold one sweep's per-worker profile into the aggregate (no-op when
+  /// disabled). `run_and_analyze_all` profiles every parallel sweep and
+  /// calls this; finalize() reports the pooled wall/busy/utilization as
+  /// sweep_* extras.
+  void record_sweep(const runner::SweepProfiler::Summary& summary);
+
   /// Attach a named scalar to the report's "extra" object.
   void note_metric(const std::string& name, double value);
 
@@ -134,6 +141,12 @@ class RunTelemetry {
   std::vector<double> accumulation_ratios_;
   obs::MetricsSnapshot merged_;
   std::map<std::string, double> extra_;
+  // Pooled sweep-profile aggregate (record_sweep).
+  double sweep_wall_s_{0.0};
+  double sweep_busy_s_{0.0};
+  double sweep_capacity_s_{0.0};  ///< sum of wall x workers per sweep
+  std::uint64_t sweep_tasks_{0};
+  std::size_t sweep_workers_{0};  ///< widest pool seen
 };
 
 }  // namespace vstream::bench

@@ -8,19 +8,32 @@
 // from Flash (k=1.25, B'=40 s) to an HTML5-style strategy, plus a shift to
 // HD encoding rates.
 //
-// Usage: capacity_planner [lambda_per_s] [mean_rate_mbps] [mean_duration_s]
+// Usage: capacity_planner [--profile-out [path]] [--trace-out path]
+//                         [lambda_per_s] [mean_rate_mbps] [mean_duration_s]
 //
 // The empirical cross-check at the end simulates full sessions; those fan
 // out across cores (worker count from VSTREAM_JOBS, default hardware
 // concurrency, 1 = serial).
+//
+// --profile-out arms a runner::SweepProfiler on the session pool and writes
+// per-worker phase timings, task counts, and utilization to `path`
+// (default BENCH_sweep_profile.json) — the same shape the bench harness
+// publishes. --trace-out attaches a Chrome-trace sink to the sweep's first
+// session, so one representative world's span timeline lands beside the
+// capacity numbers.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "model/aggregate.hpp"
 #include "model/interruption.hpp"
+#include "obs/chrome_trace.hpp"
 #include "runner/parallel_sweep.hpp"
+#include "runner/sweep_profiler.hpp"
 #include "streaming/session_builder.hpp"
 
 namespace {
@@ -46,6 +59,33 @@ void print_dimensioning(const model::AggregateParams& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string profile_path;
+  std::string trace_path;
+  while (argc > 1 && std::strncmp(argv[1], "--", 2) == 0) {
+    if (std::strcmp(argv[1], "--profile-out") == 0) {
+      // The path is optional: positional args are all numeric, so a
+      // following token that doesn't start like a number is the path.
+      profile_path = "BENCH_sweep_profile.json";
+      if (argc > 2 && argv[2][0] != '-' && argv[2][0] != '.' &&
+          (argv[2][0] < '0' || argv[2][0] > '9')) {
+        profile_path = argv[2];
+        --argc;
+        ++argv;
+      }
+    } else if (std::strcmp(argv[1], "--trace-out") == 0 && argc > 2) {
+      trace_path = argv[2];
+      --argc;
+      ++argv;
+    } else {
+      std::fprintf(stderr,
+                   "usage: capacity_planner [--profile-out [path]] [--trace-out path]\n"
+                   "                        [lambda_per_s] [mean_rate_mbps] [mean_duration_s]\n");
+      return 2;
+    }
+    --argc;
+    ++argv;
+  }
+
   model::AggregateParams p;
   p.lambda_per_s = argc > 1 ? std::atof(argv[1]) : 0.5;
   p.mean_encoding_bps = (argc > 2 ? std::atof(argv[2]) : 1.0) * 1e6;
@@ -81,38 +121,75 @@ int main(int argc, char** argv) {
   // merged in submission order and identical for any worker count.
   {
     constexpr std::size_t kSessions = 8;
-    video::VideoMeta meta;
-    meta.id = "planner";
-    meta.duration_s = p.mean_duration_s;
-    meta.encoding_bps = p.mean_encoding_bps;
-    meta.container = video::Container::kFlash;
+    runner::ParallelSweep pool;
+    runner::SweepProfiler profiler{pool.jobs()};
+    if (!profile_path.empty()) pool.set_profiler(&profiler);
+
     std::vector<streaming::SessionConfig> configs;
-    configs.reserve(kSessions);
-    for (std::size_t i = 0; i < kSessions; ++i) {
-      // Only aggregate outputs are read below: run the single-pass analysis
-      // during capture and store no packets — memory stays O(1) per session.
-      configs.push_back(streaming::SessionBuilder{}
-                            .vantage(net::Vantage::kResearch)
-                            .video(meta)
-                            .capture_duration_s(30.0)
-                            .seed(7000 + i)
-                            .store_trace(false)
-                            .streaming_report(true)
-                            .build());
+    {
+      // Config construction is the sweep's build phase — serial, worker 0.
+      const runner::SweepProfiler::Scope build_scope{
+          pool.profiler(), 0, runner::SweepPhase::kBuild};
+      video::VideoMeta meta;
+      meta.id = "planner";
+      meta.duration_s = p.mean_duration_s;
+      meta.encoding_bps = p.mean_encoding_bps;
+      meta.container = video::Container::kFlash;
+      configs.reserve(kSessions);
+      for (std::size_t i = 0; i < kSessions; ++i) {
+        // Only aggregate outputs are read below: run the single-pass analysis
+        // during capture and store no packets — memory stays O(1) per session.
+        configs.push_back(streaming::SessionBuilder{}
+                              .vantage(net::Vantage::kResearch)
+                              .video(meta)
+                              .capture_duration_s(30.0)
+                              .seed(7000 + i)
+                              .store_trace(false)
+                              .streaming_report(true)
+                              .build());
+      }
     }
-    const runner::ParallelSweep pool;
+    // One representative traced world: a single sink serves a single
+    // session, so the parallel fan-out stays data-race free.
+    std::unique_ptr<obs::ChromeTraceSink> trace_sink;
+    if (!trace_path.empty()) {
+      trace_sink = std::make_unique<obs::ChromeTraceSink>(trace_path);
+      configs.front().trace_sink = trace_sink.get();
+    }
+
     const auto sessions = pool.run_sessions(configs);
     double rate_sum = 0.0;
     double encoding_sum = 0.0;
-    for (const auto& s : sessions) {
-      rate_sum += 8.0 * s.bytes_downloaded / configs.front().capture_duration_s;
-      encoding_sum += s.encoding_bps_estimated;
+    {
+      const runner::SweepProfiler::Scope merge_scope{
+          pool.profiler(), 0, runner::SweepPhase::kMerge};
+      for (const auto& s : sessions) {
+        rate_sum += 8.0 * s.bytes_downloaded / configs.front().capture_duration_s;
+        encoding_sum += s.encoding_bps_estimated;
+      }
     }
     std::printf("\nempirical session sweep (%zu simulated sessions, %zu workers):\n",
                 sessions.size(), pool.jobs());
     std::printf("  mean session download rate %.2f Mbps (model E[e] input %.2f Mbps)\n",
                 rate_sum / kSessions / 1e6, p.mean_encoding_bps / 1e6);
     std::printf("  mean estimated encoding    %.2f Mbps\n", encoding_sum / kSessions / 1e6);
+    if (trace_sink) {
+      trace_sink->close();
+      std::printf("  span timeline: %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
+    }
+    if (!profile_path.empty()) {
+      const auto summary = profiler.summary();
+      std::printf("  sweep profile: %.2f s wall, %.0f%% utilization across %zu workers\n",
+                  summary.wall_s, summary.utilization() * 100.0, summary.workers);
+      for (std::size_t w = 0; w < summary.per_worker.size(); ++w) {
+        const auto& ws = summary.per_worker[w];
+        std::printf("    worker %zu: %llu tasks, %.2f s busy (%.0f%% of wall)\n", w,
+                    static_cast<unsigned long long>(ws.tasks()), ws.busy_s(),
+                    summary.wall_s > 0.0 ? 100.0 * ws.busy_s() / summary.wall_s : 0.0);
+      }
+      profiler.write_json(profile_path, "capacity_planner");
+      std::printf("  profile written: %s\n", profile_path.c_str());
+    }
   }
 
   std::printf("\n== what-if scenarios (paper's conclusion) ==\n");

@@ -6,11 +6,17 @@
 // sends the bulk of the payload).
 //
 // Usage: pcap_analyzer [--json] [--flows] [--dump] [--stream]
-//        [--metrics out.json] <file.pcap> [encoding_rate_mbps]
+//        [--metrics out.json] [--trace-out out.json]
+//        <file.pcap> [encoding_rate_mbps]
 //
 // --stream runs the single-pass analysis pipeline over the file without
 // materialising the trace: memory stays O(1) in the capture length and the
 // report is field-identical to the default batch path.
+//
+// --trace-out synthesizes a Chrome trace-event timeline from the offline
+// analysis — per-connection lifetimes, steady-state ON blocks, and the
+// buffering phase — so a foreign pcap gets the same Perfetto view a live
+// --trace-out simulation run produces.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,7 +31,9 @@
 #include "analysis/streaming_report.hpp"
 #include "capture/dump.hpp"
 #include "capture/pcap.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -53,6 +61,48 @@ bool write_metrics(const std::string& path, const vstream::capture::PacketTrace&
   if (!out) return false;
   out << "{\"flows\":" << analysis::to_json(table)
       << ",\"metrics\":" << reg.snapshot().to_json() << "}\n";
+  return true;
+}
+
+/// --trace-out: rebuild a span timeline from the offline analysis. The live
+/// path emits these spans as the simulation runs; here the flow table and
+/// the ON/OFF analysis recover the same episodes from packet times alone.
+bool write_chrome_trace(const std::string& path, const vstream::analysis::FlowTable& table,
+                        const vstream::analysis::OnOffAnalysis& analysis) {
+  using namespace vstream;
+  obs::ChromeTraceWriter writer;
+  std::uint64_t next_span = 1;
+  const auto add_span = [&](const char* category, std::string name, double begin_s, double end_s,
+                            std::uint64_t id, std::string detail) {
+    obs::SpanRecord span;
+    span.t_begin_s = begin_s;
+    span.t_end_s = end_s;
+    span.span_id = next_span++;
+    span.id = id;
+    span.category = category;
+    span.name = std::move(name);
+    span.detail = std::move(detail);
+    writer.add(obs::TraceEvent{std::move(span)});
+  };
+
+  if (analysis.buffering_end_s > analysis.first_packet_s) {
+    add_span("player", "buffering", analysis.first_packet_s, analysis.buffering_end_s, 0,
+             std::to_string(analysis.buffering_bytes) + " bytes");
+  }
+  for (const auto& flow : table.flows) {
+    add_span("tcp", "connection", flow.first_packet_s, flow.last_packet_s, flow.connection_id,
+             std::to_string(flow.down_payload_bytes) + " bytes down");
+  }
+  for (const auto& on : analysis.on_periods) {
+    // Pre-steady periods are part of buffering; render steady ON blocks only.
+    if (on.start_s < analysis.buffering_end_s) continue;
+    add_span("fetch", "on_block", on.start_s, on.end_s, 0,
+             std::to_string(on.bytes) + " bytes");
+  }
+
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  writer.write(out);
   return true;
 }
 
@@ -96,6 +146,7 @@ int main(int argc, char** argv) {
   bool dump = false;
   bool stream = false;
   std::string metrics_path;
+  std::string trace_path;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
     if (std::strcmp(argv[arg], "--json") == 0) {
@@ -108,6 +159,8 @@ int main(int argc, char** argv) {
       stream = true;
     } else if (std::strcmp(argv[arg], "--metrics") == 0 && arg + 1 < argc) {
       metrics_path = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
+      trace_path = argv[++arg];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[arg]);
       return 2;
@@ -117,7 +170,7 @@ int main(int argc, char** argv) {
   if (arg >= argc) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--flows] [--dump] [--stream] [--metrics out.json] "
-                 "<file.pcap> [encoding_rate_mbps]\n",
+                 "[--trace-out out.json] <file.pcap> [encoding_rate_mbps]\n",
                  argv[0]);
     return 2;
   }
@@ -125,8 +178,9 @@ int main(int argc, char** argv) {
   argc -= arg - 1;
 
   if (stream) {
-    if (with_flows || dump || !metrics_path.empty()) {
-      std::fprintf(stderr, "--stream produces the report only; drop --flows/--dump/--metrics\n");
+    if (with_flows || dump || !metrics_path.empty() || !trace_path.empty()) {
+      std::fprintf(stderr,
+                   "--stream produces the report only; drop --flows/--dump/--metrics/--trace-out\n");
       return 2;
     }
     analysis::ReportOptions options;
@@ -175,6 +229,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!write_chrome_trace(trace_path, analysis::build_flow_table(trace),
+                            analysis::analyze_on_off(trace))) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n",
+                 trace_path.c_str());
   }
   if (as_json) {
     std::printf("{\"report\":%s", analysis::to_json(report).c_str());

@@ -13,9 +13,15 @@
 // Sweep mode fans N seeds of one combination across cores (worker count
 // from VSTREAM_JOBS, default hardware concurrency, 1 = serial):
 //   strategy_explorer sweep 16 [service] [container] [application] [network]
+//
+// --trace-out FILE (single-run mode) attaches a live Chrome-trace sink to
+// the session: fetch/player/TCP/link spans land in FILE, ready for
+// https://ui.perfetto.dev. Tracing is digest-neutral — the session's
+// results are identical with or without it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +31,7 @@
 #include "analysis/strategy.hpp"
 #include "capture/csv.hpp"
 #include "capture/pcap.hpp"
+#include "obs/chrome_trace.hpp"
 #include "runner/parallel_sweep.hpp"
 #include "streaming/session_builder.hpp"
 #include "video/datasets.hpp"
@@ -104,6 +111,13 @@ int run_sweep(std::size_t count, const streaming::SessionConfig& base) {
 
 int main(int argc, char** argv) {
   const char* argv0 = argv[0];
+  // `--trace-out FILE` may lead the argument list; everything after shifts.
+  std::string trace_path;
+  if (argc > 2 && std::strcmp(argv[1], "--trace-out") == 0) {
+    trace_path = argv[2];
+    argc -= 2;
+    argv += 2;
+  }
   // `strategy_explorer sweep N [combo...]` shifts the combo args by two.
   std::size_t sweep_count = 0;
   if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
@@ -146,12 +160,28 @@ int main(int argc, char** argv) {
                                      .seed(1)
                                      .build();
 
-  if (sweep_count > 0) return run_sweep(sweep_count, cfg);
+  if (sweep_count > 0) {
+    if (!trace_path.empty()) {
+      std::fprintf(stderr, "--trace-out applies to single runs only, not sweep mode\n");
+      return 2;
+    }
+    return run_sweep(sweep_count, cfg);
+  }
 
   // Keep the auxiliary hosts in the capture so the filtered-out traffic can
   // be reported; the analysis below runs on the zero-copy video view.
   cfg.keep_full_trace = true;
+  std::unique_ptr<obs::ChromeTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<obs::ChromeTraceSink>(trace_path);
+    cfg.trace_sink = trace_sink.get();
+  }
   const auto result = streaming::run_session(cfg);
+  if (trace_sink) {
+    trace_sink->close();
+    std::printf("span timeline        : %s (open in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   const auto video = result.video_trace();
   const auto analysis = analysis::analyze_on_off(video);
   const auto decision = analysis::classify_strategy(analysis, video);

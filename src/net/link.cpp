@@ -57,6 +57,14 @@ void Link::apply_window(const ImpairmentWindow& window, bool begin) {
     if (ctr_fault_windows_ != nullptr) ctr_fault_windows_->inc();
   }
   emit_fault_event(window.kind, begin);
+  obs::Span& span = fault_spans_[static_cast<std::size_t>(window.kind)];
+  if (begin) {
+    if (!span.active()) {
+      span = obs::open_span(sim_, obs::SpanCategory::kLink, to_string(window.kind));
+    }
+  } else {
+    span.close("window_end");
+  }
 }
 
 void Link::set_impairments(ImpairmentSchedule schedule) {

@@ -5,6 +5,7 @@
 // so the capture module can play the role tcpdump played in the paper.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "net/dynamics.hpp"
 #include "net/loss_model.hpp"
 #include "net/segment.hpp"
+#include "obs/span.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -110,6 +112,9 @@ class Link {
   sim::Duration extra_delay_{sim::Duration::zero()};
   std::unique_ptr<LossModel> overlay_loss_;  ///< live only inside a burst window
   std::uint32_t blackout_depth_{0};          ///< nested same-instant transitions
+  /// One episode span per impairment kind (the schedule validator rejects
+  /// same-kind overlap, so one open window per kind is an invariant).
+  std::array<obs::Span, 4> fault_spans_;
 
   // Cached registry instruments (shared across all links of one world);
   // null when the world runs unobserved.

@@ -59,13 +59,41 @@ void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
     auto [it, inserted] = histograms.emplace(name, h);
     if (inserted) continue;
     auto& mine = it->second;
-    if (mine.bounds != h.bounds) continue;  // incompatible layouts: keep ours
-    for (std::size_t i = 0; i < mine.counts.size() && i < h.counts.size(); ++i) {
+    if (mine.bounds != h.bounds || mine.counts.size() != h.counts.size()) {
+      throw std::invalid_argument{"MetricsSnapshot::merge_from: histogram '" + name +
+                                  "' bucket layout differs between snapshots; refusing to "
+                                  "misalign buckets"};
+    }
+    for (std::size_t i = 0; i < mine.counts.size(); ++i) {
       mine.counts[i] += h.counts[i];
     }
     mine.count += h.count;
     mine.sum += h.sum;
   }
+}
+
+double MetricsSnapshot::HistogramData::percentile(double q) const {
+  if (count == 0 || counts.empty() || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow bucket has no upper edge: clamp to the last known bound.
+    if (i >= bounds.size()) return bounds.back();
+    const double upper = bounds[i];
+    // The first bucket interpolates from 0 (our measured quantities are
+    // non-negative); negative bounds fall back to the edge itself.
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+    const double fraction = (rank - cumulative) / in_bucket;
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.back();
 }
 
 namespace {
@@ -128,6 +156,12 @@ std::string MetricsSnapshot::to_json() const {
     }
     out << "],\"count\":" << h.count << ",\"sum\":";
     append_double(out, h.sum);
+    out << ",\"p50\":";
+    append_double(out, h.percentile(0.50));
+    out << ",\"p90\":";
+    append_double(out, h.percentile(0.90));
+    out << ",\"p99\":";
+    append_double(out, h.percentile(0.99));
     out << '}';
   }
   out << "}}";
@@ -249,6 +283,9 @@ MetricsSnapshot parse_snapshot(const std::string& json) {
             h.count = static_cast<std::uint64_t>(r.number());
           } else if (field == "sum") {
             h.sum = r.number();
+          } else if (field == "p50" || field == "p90" || field == "p99") {
+            // Derived tails; recomputed from the buckets on re-emission.
+            static_cast<void>(r.number());
           } else {
             throw std::runtime_error{"parse_snapshot: unknown histogram field " + field};
           }

@@ -68,6 +68,11 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> counts;
     std::uint64_t count{0};
     double sum{0.0};
+
+    /// Percentile estimate at quantile `q` in [0,1], linearly interpolated
+    /// within the winning bucket (the first bucket from 0, the last bound
+    /// for overflow samples). 0 when the histogram is empty.
+    [[nodiscard]] double percentile(double q) const;
   };
 
   std::map<std::string, std::uint64_t> counters;
@@ -80,6 +85,9 @@ struct MetricsSnapshot {
 
   /// Combine another run's snapshot into this one: counters and histogram
   /// buckets add, gauges keep the maximum (gauges here are high-waters).
+  /// Throws std::invalid_argument when the same histogram name arrives with
+  /// different bucket bounds — adding misaligned buckets would silently
+  /// corrupt every percentile downstream.
   void merge_from(const MetricsSnapshot& other);
 
   [[nodiscard]] std::string to_json() const;

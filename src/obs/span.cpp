@@ -1,0 +1,150 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace vstream::obs {
+
+const char* to_string(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::kFetch: return "fetch";
+    case SpanCategory::kPlayer: return "player";
+    case SpanCategory::kTcp: return "tcp";
+    case SpanCategory::kLink: return "link";
+    case SpanCategory::kSim: return "sim";
+  }
+  return "unknown";
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_{std::exchange(other.tracer_, nullptr)},
+      slot_{other.slot_},
+      generation_{other.generation_} {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    close();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    slot_ = other.slot_;
+    generation_ = other.generation_;
+  }
+  return *this;
+}
+
+Span::~Span() { close(); }
+
+bool Span::active() const {
+  return tracer_ != nullptr && tracer_->slot_live(slot_, generation_);
+}
+
+void Span::close(const std::string& detail) {
+  if (tracer_ == nullptr) return;
+  tracer_->close_slot(slot_, generation_, detail);
+  tracer_ = nullptr;
+}
+
+void Span::mark() {
+  if (tracer_ != nullptr) tracer_->mark_slot(slot_, generation_);
+}
+
+void SpanTracer::bind(const sim::Simulator& sim) {
+  if (sim_ == &sim) return;
+  if (sim_ != nullptr && open_count_ > 0) {
+    throw std::logic_error{"SpanTracer::bind: rebinding with open spans"};
+  }
+  sim_ = &sim;
+}
+
+double SpanTracer::now_s() const {
+  if (sim_ == nullptr) throw std::logic_error{"SpanTracer: no simulator bound (call bind first)"};
+  return sim_->now().to_seconds();
+}
+
+Span SpanTracer::open(SpanCategory category, std::string name, std::uint64_t id) {
+  const double now = now_s();
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.t_begin_s = now;
+  s.t_mark_s = -1.0;
+  s.span_id = next_span_id_++;
+  s.id = id;
+  s.name = std::move(name);
+  s.category = category;
+  s.depth = static_cast<std::uint32_t>(open_count_);
+  s.live = true;
+  ++open_count_;
+  return Span{this, slot, s.generation};
+}
+
+void SpanTracer::emit_complete(double t_begin_s, SpanCategory category, std::string name,
+                               std::uint64_t id, std::string detail) {
+  SpanRecord record;
+  record.t_begin_s = t_begin_s;
+  record.t_end_s = now_s();
+  record.span_id = next_span_id_++;
+  record.id = id;
+  record.depth = static_cast<std::uint32_t>(open_count_);
+  record.category = to_string(category);
+  record.name = std::move(name);
+  record.detail = std::move(detail);
+  bus_->emit(record);
+}
+
+bool SpanTracer::slot_live(std::uint32_t slot, std::uint32_t generation) const {
+  return slot < slots_.size() && slots_[slot].live && slots_[slot].generation == generation;
+}
+
+void SpanTracer::close_slot(std::uint32_t slot, std::uint32_t generation,
+                            const std::string& detail) {
+  if (!slot_live(slot, generation)) return;
+  Slot& s = slots_[slot];
+  SpanRecord record;
+  record.t_begin_s = s.t_begin_s;
+  record.t_end_s = now_s();
+  record.t_mark_s = s.t_mark_s;
+  record.span_id = s.span_id;
+  record.id = s.id;
+  record.depth = s.depth;
+  record.category = to_string(s.category);
+  record.name = std::move(s.name);
+  record.detail = detail;
+  s.live = false;
+  ++s.generation;  // invalidates any other handle copies of this slot
+  s.name.clear();
+  free_.push_back(slot);
+  --open_count_;
+  bus_->emit(record);
+}
+
+void SpanTracer::mark_slot(std::uint32_t slot, std::uint32_t generation) {
+  if (!slot_live(slot, generation)) return;
+  Slot& s = slots_[slot];
+  if (s.t_mark_s < 0.0) s.t_mark_s = now_s();
+}
+
+std::size_t SpanTracer::close_all(const std::string& detail) {
+  // Emit truncated spans in open order (span_id) so twin runs produce
+  // byte-identical streams regardless of slot reuse history.
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) live.push_back(i);
+  }
+  std::sort(live.begin(), live.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return slots_[a].span_id < slots_[b].span_id;
+  });
+  for (const std::uint32_t slot : live) close_slot(slot, slots_[slot].generation, detail);
+  return live.size();
+}
+
+}  // namespace vstream::obs

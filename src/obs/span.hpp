@@ -1,0 +1,135 @@
+// Sim-time span layer over the trace bus: RAII episode handles.
+//
+// The point probes of trace.hpp answer "what happened at t"; spans answer
+// "what interval was the world in". A `SpanTracer` (one per ObsContext)
+// hands out move-only `Span` handles; closing one — explicitly with an
+// outcome string, or implicitly from the destructor — emits a single
+// `SpanRecord` on the trace bus with begin/end sim-times, a per-tracer
+// monotonic span id, and the nesting depth at open time.
+//
+// Determinism contract: spans read `Simulator::now()` and emit; they never
+// schedule events, touch the RNG, or otherwise feed back into the
+// simulation, so a run's state digest is identical with tracing armed or
+// unobserved (tools/determinism_audit runs its second twin armed to prove
+// it). Instrumented components open spans through `obs::open_span`
+// (context.hpp), which collapses to two pointer loads and a branch when no
+// sink listens.
+//
+// Handles are generation-checked: `SpanTracer::close_all` (called at
+// simulator teardown to flush episodes truncated by the capture window)
+// invalidates outstanding handles, so their later destruction is a no-op
+// rather than a double emit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vstream::sim {
+class Simulator;
+}
+
+namespace vstream::obs {
+
+class TraceBus;
+class SpanTracer;
+
+/// Coarse subsystem tag; becomes the exporter's track/category.
+enum class SpanCategory : std::uint8_t { kFetch = 0, kPlayer, kTcp, kLink, kSim };
+
+[[nodiscard]] const char* to_string(SpanCategory category);
+
+/// Move-only handle on one open span. Default-constructed handles are inert
+/// (the unobserved fast path); every operation on an inert or already-closed
+/// handle is a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  ~Span();
+
+  /// True while this handle owns an open span.
+  [[nodiscard]] bool active() const;
+
+  /// Close now with an outcome string ("complete", "stalled", ...).
+  void close(const std::string& detail);
+  void close() { close(std::string{}); }
+
+  /// Stamp the span's single mid-point mark (e.g. fetch first byte) at the
+  /// current sim-time. First call wins.
+  void mark();
+
+ private:
+  friend class SpanTracer;
+  Span(SpanTracer* tracer, std::uint32_t slot, std::uint32_t generation)
+      : tracer_{tracer}, slot_{slot}, generation_{generation} {}
+
+  SpanTracer* tracer_{nullptr};
+  std::uint32_t slot_{0};
+  std::uint32_t generation_{0};
+};
+
+/// Owns the open-span slot pool and emits `SpanRecord`s on the bus it was
+/// constructed over. Bound to a simulator (its clock) on first use.
+class SpanTracer {
+ public:
+  explicit SpanTracer(TraceBus& bus) : bus_{&bus} {}
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Bind the sim-time source. Idempotent for the same simulator; rebinding
+  /// to a different one while spans are open throws.
+  void bind(const sim::Simulator& sim);
+
+  /// Open a span beginning now. `id` is a domain identifier (connection id,
+  /// fetch attempt, ...) carried opaquely into the record.
+  [[nodiscard]] Span open(SpanCategory category, std::string name, std::uint64_t id = 0);
+
+  /// Emit a retrospective, already-finished span: begins at `t_begin_s`,
+  /// ends now. Used for episodes only detectable at their end (zero-window
+  /// reopen).
+  void emit_complete(double t_begin_s, SpanCategory category, std::string name, std::uint64_t id,
+                     std::string detail);
+
+  /// Close every open span now with the given outcome (e.g. "capture_end")
+  /// and invalidate their handles. Returns how many were closed — the
+  /// unclosed-span count at teardown.
+  std::size_t close_all(const std::string& detail);
+
+  [[nodiscard]] std::size_t open_spans() const { return open_count_; }
+  [[nodiscard]] std::uint64_t spans_opened() const { return next_span_id_ - 1; }
+  [[nodiscard]] const sim::Simulator* sim() const { return sim_; }
+
+ private:
+  friend class Span;
+
+  struct Slot {
+    double t_begin_s{0.0};
+    double t_mark_s{-1.0};  ///< <0 = no mark
+    std::uint64_t span_id{0};
+    std::uint64_t id{0};
+    std::string name;
+    SpanCategory category{SpanCategory::kSim};
+    std::uint32_t depth{0};
+    std::uint32_t generation{0};
+    bool live{false};
+  };
+
+  [[nodiscard]] bool slot_live(std::uint32_t slot, std::uint32_t generation) const;
+  void close_slot(std::uint32_t slot, std::uint32_t generation, const std::string& detail);
+  void mark_slot(std::uint32_t slot, std::uint32_t generation);
+  [[nodiscard]] double now_s() const;
+
+  TraceBus* bus_;
+  const sim::Simulator* sim_{nullptr};
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t open_count_{0};
+  std::uint64_t next_span_id_{1};
+};
+
+}  // namespace vstream::obs

@@ -87,6 +87,17 @@ struct JsonlWriter {
     field(out, "remaining_bytes", e.remaining_bytes);
     field(out, "gave_up", static_cast<std::uint64_t>(e.gave_up ? 1 : 0));
   }
+  void operator()(const SpanRecord& e) const {
+    field(out, "t", e.t_end_s);
+    field(out, "begin_s", e.t_begin_s);
+    field(out, "mark_s", e.t_mark_s);
+    field(out, "span_id", e.span_id);
+    field(out, "id", e.id);
+    field(out, "depth", static_cast<std::uint64_t>(e.depth));
+    field(out, "cat", e.category);
+    field(out, "name", e.name);
+    field(out, "detail", e.detail);
+  }
 };
 
 }  // namespace
@@ -101,6 +112,7 @@ const char* event_type(const TraceEvent& event) {
     const char* operator()(const ZeroWindowEpisode&) const { return "zero_window"; }
     const char* operator()(const LinkFault&) const { return "link_fault"; }
     const char* operator()(const FetchRetry&) const { return "fetch_retry"; }
+    const char* operator()(const SpanRecord&) const { return "span"; }
   };
   return std::visit(Namer{}, event);
 }
@@ -145,6 +157,108 @@ std::optional<std::string> jsonl_string(const std::string& line, const std::stri
     out += line[at++];
   }
   return out;
+}
+
+namespace {
+
+double num(const std::string& line, const char* key, double fallback = 0.0) {
+  return jsonl_number(line, key).value_or(fallback);
+}
+
+std::uint64_t unum(const std::string& line, const char* key) {
+  return static_cast<std::uint64_t>(jsonl_number(line, key).value_or(0.0));
+}
+
+std::string str(const std::string& line, const char* key) {
+  return jsonl_string(line, key).value_or(std::string{});
+}
+
+}  // namespace
+
+std::optional<TraceEvent> from_jsonl(const std::string& line) {
+  const auto type = jsonl_string(line, "type");
+  if (!type) return std::nullopt;
+  if (*type == "tcp_cwnd") {
+    TcpCwndSample e;
+    e.t_s = num(line, "t");
+    e.connection_id = unum(line, "conn");
+    e.endpoint = str(line, "endpoint");
+    e.cwnd = unum(line, "cwnd");
+    e.ssthresh = unum(line, "ssthresh");
+    e.rwnd = unum(line, "rwnd");
+    e.adv_wnd = unum(line, "adv_wnd");
+    e.rto_s = num(line, "rto_s");
+    e.bytes_in_flight = unum(line, "in_flight");
+    return TraceEvent{e};
+  }
+  if (*type == "sim_loop") {
+    SimLoopSample e;
+    e.t_s = num(line, "t");
+    e.events_processed = unum(line, "events");
+    e.events_pending = unum(line, "pending");
+    e.max_events_pending = unum(line, "max_pending");
+    e.sim_wall_ratio = num(line, "sim_wall_ratio");
+    return TraceEvent{e};
+  }
+  if (*type == "pacing_block") {
+    PacingBlockEmitted e;
+    e.t_s = num(line, "t");
+    e.connection_id = unum(line, "conn");
+    e.bytes = unum(line, "bytes");
+    e.initial_burst = unum(line, "initial_burst") != 0;
+    return TraceEvent{e};
+  }
+  if (*type == "player_stall") {
+    PlayerStall e;
+    e.t_s = num(line, "t");
+    e.stall_count = static_cast<std::uint32_t>(unum(line, "stalls"));
+    return TraceEvent{e};
+  }
+  if (*type == "player_interrupt") {
+    PlayerInterrupt e;
+    e.t_s = num(line, "t");
+    e.watched_s = num(line, "watched_s");
+    return TraceEvent{e};
+  }
+  if (*type == "zero_window") {
+    ZeroWindowEpisode e;
+    e.t_s = num(line, "t");
+    e.connection_id = unum(line, "conn");
+    e.endpoint = str(line, "endpoint");
+    e.duration_s = num(line, "duration_s");
+    return TraceEvent{e};
+  }
+  if (*type == "link_fault") {
+    LinkFault e;
+    e.t_s = num(line, "t");
+    e.kind = str(line, "kind");
+    e.begin = unum(line, "begin") != 0;
+    e.rate_factor = num(line, "rate_factor", 1.0);
+    return TraceEvent{e};
+  }
+  if (*type == "fetch_retry") {
+    FetchRetry e;
+    e.t_s = num(line, "t");
+    e.attempt = static_cast<std::uint32_t>(unum(line, "attempt"));
+    e.backoff_s = num(line, "backoff_s");
+    e.remaining_bytes = unum(line, "remaining_bytes");
+    e.gave_up = unum(line, "gave_up") != 0;
+    return TraceEvent{e};
+  }
+  if (*type == "span") {
+    SpanRecord e;
+    e.t_end_s = num(line, "t");
+    e.t_begin_s = num(line, "begin_s");
+    e.t_mark_s = num(line, "mark_s", -1.0);
+    e.span_id = unum(line, "span_id");
+    e.id = unum(line, "id");
+    e.depth = static_cast<std::uint32_t>(unum(line, "depth"));
+    e.category = str(line, "cat");
+    e.name = str(line, "name");
+    e.detail = str(line, "detail");
+    return TraceEvent{e};
+  }
+  return std::nullopt;
 }
 
 void TraceBus::attach(TraceSink* sink) {

@@ -90,14 +90,35 @@ struct FetchRetry {
   bool gave_up{false};           ///< retry budget exhausted; fetch abandoned
 };
 
+/// A closed episode span from the `obs::SpanTracer` layer (span.hpp):
+/// fetch lifecycle, player phases, TCP recovery, fault windows. Emitted
+/// once, when the span closes (or is truncated at teardown).
+struct SpanRecord {
+  double t_begin_s{0.0};
+  double t_end_s{0.0};
+  double t_mark_s{-1.0};  ///< optional mid-span mark (fetch first byte); <0 = none
+  std::uint64_t span_id{0};  ///< per-tracer monotonic, deterministic
+  std::uint64_t id{0};       ///< domain id (connection id, attempt, ...)
+  std::uint32_t depth{0};    ///< open spans when this one opened
+  std::string category;      ///< "fetch" | "player" | "tcp" | "link" | "sim"
+  std::string name;
+  std::string detail;  ///< outcome: "complete", "stalled", "capture_end", ...
+};
+
 using TraceEvent = std::variant<TcpCwndSample, SimLoopSample, PacingBlockEmitted, PlayerStall,
-                                PlayerInterrupt, ZeroWindowEpisode, LinkFault, FetchRetry>;
+                                PlayerInterrupt, ZeroWindowEpisode, LinkFault, FetchRetry,
+                                SpanRecord>;
 
 /// Stable type tag used as the JSONL "type" field.
 [[nodiscard]] const char* event_type(const TraceEvent& event);
 
 /// Render one event as a single-line JSON object ("type" + fields).
 [[nodiscard]] std::string to_jsonl(const TraceEvent& event);
+
+/// Parse one `to_jsonl` line back into a typed event; nullopt when the line
+/// is not one of ours. Powers the offline JSONL → Chrome-trace converter
+/// (tools/trace_export).
+[[nodiscard]] std::optional<TraceEvent> from_jsonl(const std::string& line);
 
 /// Pull one numeric field out of a JSONL event line; nullopt when absent.
 /// Cheap string scan sufficient for the flat objects `to_jsonl` writes.

@@ -8,6 +8,17 @@
 
 namespace vstream::runner {
 
+namespace {
+
+// Which pool worker the current thread is: set by for_each_index before a
+// worker starts draining, reset after. Thread-local so nested tools that
+// query it off-pool see a stable 0 (the caller's thread is worker 0).
+thread_local std::size_t t_worker_index = 0;
+
+}  // namespace
+
+std::size_t ParallelSweep::current_worker() { return t_worker_index; }
+
 std::size_t job_count(std::size_t requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("VSTREAM_JOBS")) {
@@ -24,9 +35,19 @@ void ParallelSweep::for_each_index(std::size_t count,
                                    const std::function<void(std::size_t)>& fn) const {
   if (count == 0) return;
   const std::size_t workers = std::min(jobs_, count);
+
+  // The timed unit of work: fn(i) itself, clocked as a kRun task on the
+  // executing worker when a profiler is attached. The timing lives inside
+  // SweepProfiler::Scope — this file stays chrono-free by lint rule.
+  SweepProfiler* const profiler = profiler_;
+  const auto run_one = [&fn, profiler](std::size_t i, std::size_t worker) {
+    const SweepProfiler::Scope scope{profiler, worker, SweepPhase::kRun};
+    fn(i);
+  };
+
   if (workers <= 1) {
     // Serial path: no threads, identical to the historical sweep loop.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) run_one(i, 0);
     return;
   }
 
@@ -36,23 +57,25 @@ void ParallelSweep::for_each_index(std::size_t count,
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  const auto drain = [&] {
+  const auto drain = [&](std::size_t worker) {
+    t_worker_index = worker;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+      if (i >= count) break;
       try {
-        fn(i);
+        run_one(i, worker);
       } catch (...) {
         const std::lock_guard<std::mutex> lock{error_mutex};
         if (!first_error) first_error = std::current_exception();
       }
     }
+    t_worker_index = 0;
   };
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
-  drain();  // the caller's thread is worker 0
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain, w);
+  drain(0);  // the caller's thread is worker 0
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -25,6 +25,7 @@
 #include <functional>
 #include <vector>
 
+#include "runner/sweep_profiler.hpp"
 #include "streaming/session.hpp"
 
 namespace vstream::runner {
@@ -62,8 +63,24 @@ class ParallelSweep {
   [[nodiscard]] std::vector<streaming::SessionResult> run_sessions(
       const std::vector<streaming::SessionConfig>& configs) const;
 
+  /// Attach a profiler (or nullptr to detach). While attached, every fn(i)
+  /// dispatched by for_each_index is timed as a kRun task on the worker
+  /// that executed it. The profiler must be sized for at least jobs()
+  /// workers and must outlive every sweep call on this pool. Profiling is
+  /// harness-side only: it never touches a session world, so results and
+  /// digests are identical with or without it.
+  void set_profiler(SweepProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] SweepProfiler* profiler() const { return profiler_; }
+
+  /// Index of the pool worker running the current thread: 0 for the
+  /// caller's thread (also the serial path), 1..N-1 for spawned workers.
+  /// Meaningful inside fn(i) during for_each_index; callers use it to
+  /// attribute their own analyze/merge phases to the right worker.
+  [[nodiscard]] static std::size_t current_worker();
+
  private:
   std::size_t jobs_;
+  SweepProfiler* profiler_{nullptr};
 };
 
 }  // namespace vstream::runner

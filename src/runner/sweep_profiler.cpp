@@ -1,0 +1,165 @@
+// This file holds the wall-clock RULE_EXEMPT_PREFIXES entry in
+// tools/vstream_lint.py: the profiler measures the harness around session
+// worlds, never the worlds themselves, and the profiler-clock rule bans it
+// from ever sleeping on the clock it reads.
+#include "runner/sweep_profiler.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace vstream::runner {
+
+namespace {
+
+double steady_now_s() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+void append_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_string(SweepPhase phase) {
+  switch (phase) {
+    case SweepPhase::kBuild:
+      return "build";
+    case SweepPhase::kRun:
+      return "run";
+    case SweepPhase::kAnalyze:
+      return "analyze";
+    case SweepPhase::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+SweepProfiler::SweepProfiler(std::size_t workers)
+    : cells_(workers > 0 ? workers : 1), epoch_s_{steady_now_s()} {}
+
+SweepProfiler::Scope::Scope(SweepProfiler* profiler, std::size_t worker, SweepPhase phase)
+    : profiler_{profiler}, worker_{worker}, phase_{phase}, begin_s_{0.0} {
+  if (profiler_ != nullptr) begin_s_ = profiler_->now_s();
+}
+
+SweepProfiler::Scope::~Scope() {
+  if (profiler_ != nullptr) {
+    profiler_->record(worker_, phase_, profiler_->now_s() - begin_s_);
+  }
+}
+
+void SweepProfiler::record(std::size_t worker, SweepPhase phase, double seconds,
+                           std::size_t tasks) {
+  if (worker >= cells_.size()) {
+    throw std::out_of_range{"SweepProfiler::record: worker index out of range"};
+  }
+  Cell& cell = cells_[worker];
+  const auto p = static_cast<std::size_t>(phase);
+  cell.seconds[p] += seconds;
+  cell.tasks[p] += tasks;
+}
+
+double SweepProfiler::now_s() const { return steady_now_s(); }
+
+double SweepProfiler::elapsed_s() const { return now_s() - epoch_s_; }
+
+double SweepProfiler::WorkerStats::busy_s() const {
+  double total = 0.0;
+  for (const double s : phase_s) total += s;
+  return total;
+}
+
+std::uint64_t SweepProfiler::WorkerStats::tasks() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : phase_tasks) total += n;
+  return total;
+}
+
+double SweepProfiler::Summary::busy_s() const {
+  double total = 0.0;
+  for (const auto& w : per_worker) total += w.busy_s();
+  return total;
+}
+
+std::uint64_t SweepProfiler::Summary::tasks() const {
+  std::uint64_t total = 0;
+  for (const auto& w : per_worker) total += w.tasks();
+  return total;
+}
+
+double SweepProfiler::Summary::idle_s() const {
+  const double span = wall_s * static_cast<double>(workers);
+  const double busy = busy_s();
+  return span > busy ? span - busy : 0.0;
+}
+
+double SweepProfiler::Summary::utilization() const {
+  const double span = wall_s * static_cast<double>(workers);
+  if (span <= 0.0) return 0.0;
+  const double u = busy_s() / span;
+  return u < 1.0 ? u : 1.0;
+}
+
+std::string SweepProfiler::Summary::to_json(const std::string& name) const {
+  std::string out;
+  out += "{\"name\":\"" + name + "\"";
+  out += ",\"workers\":" + std::to_string(workers);
+  out += ",\"wall_s\":";
+  append_double(out, wall_s);
+  out += ",\"busy_s\":";
+  append_double(out, busy_s());
+  out += ",\"idle_s\":";
+  append_double(out, idle_s());
+  out += ",\"utilization\":";
+  append_double(out, utilization());
+  out += ",\"tasks\":" + std::to_string(tasks());
+  out += ",\"per_worker\":[";
+  for (std::size_t w = 0; w < per_worker.size(); ++w) {
+    const WorkerStats& stats = per_worker[w];
+    if (w > 0) out += ",";
+    out += "{\"worker\":" + std::to_string(w);
+    out += ",\"busy_s\":";
+    append_double(out, stats.busy_s());
+    out += ",\"tasks\":" + std::to_string(stats.tasks());
+    out += ",\"phases\":{";
+    for (std::size_t p = 0; p < kSweepPhaseCount; ++p) {
+      if (p > 0) out += ",";
+      out += "\"";
+      out += to_string(static_cast<SweepPhase>(p));
+      out += "\":{\"seconds\":";
+      append_double(out, stats.phase_s[p]);
+      out += ",\"tasks\":" + std::to_string(stats.phase_tasks[p]) + "}";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+SweepProfiler::Summary SweepProfiler::summary() const {
+  Summary s;
+  s.workers = cells_.size();
+  s.wall_s = elapsed_s();
+  s.per_worker.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    WorkerStats stats;
+    stats.phase_s = cell.seconds;
+    stats.phase_tasks = cell.tasks;
+    s.per_worker.push_back(stats);
+  }
+  return s;
+}
+
+void SweepProfiler::write_json(const std::string& path, const std::string& name) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error{"SweepProfiler: cannot open " + path};
+  out << summary().to_json(name) << "\n";
+}
+
+}  // namespace vstream::runner

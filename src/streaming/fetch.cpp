@@ -50,6 +50,8 @@ void FetchManager::start_fetch(tcp::Connection& conn, std::unique_ptr<VideoStrea
 
   Fetch* raw = fetch.get();
   fetches_.push_back(std::move(fetch));
+  raw->span = obs::open_span(sim_, obs::SpanCategory::kFetch, "fetch",
+                             conn.client().connection_id());
 
   conn.client().set_on_readable([this, raw] { on_readable(*raw); });
   conn.client().set_on_established([this, raw, range] {
@@ -80,6 +82,8 @@ void FetchManager::fetch_range_persistent(http::ByteRange range, ByteSink sink,
   Fetch* raw = fetch.get();
   fetches_.push_back(std::move(fetch));
   persistent_queue_.push_back(raw);
+  raw->span = obs::open_span(sim_, obs::SpanCategory::kFetch, "fetch",
+                             persistent_->client().connection_id());
 
   const auto issue = [this, raw, range] {
     raw->read_before = persistent_->client().total_read();
@@ -253,6 +257,7 @@ void FetchManager::reopen_persistent() {
 void FetchManager::give_up(Fetch& fetch) {
   ++abandoned_;
   emit_retry_event(fetch, 0.0, true);
+  fetch.span.close("abandoned");
   finish(fetch);
 }
 
@@ -260,6 +265,8 @@ void FetchManager::give_up(Fetch& fetch) {
 void FetchManager::finish(Fetch& fetch) {
   fetch.done = true;
   fetch.watchdog.cancel();
+  // No-op after give_up already closed it as "abandoned".
+  fetch.span.close(fetch.attempts == 0 ? "complete" : "complete_retried");
   if (fetch.persistent && !persistent_queue_.empty() && persistent_queue_.front() == &fetch) {
     persistent_queue_.erase(persistent_queue_.begin());
     if (!persistent_queue_.empty()) {
@@ -290,6 +297,7 @@ void FetchManager::on_readable(Fetch& fetch) {
       const auto head = std::any_cast<http::HttpResponse>(std::move(t));
       fetch.head_bytes = head.wire_size();
       fetch.head_seen = true;
+      fetch.span.mark();  // first response byte of the (possibly retried) fetch
       // The server may clamp a range that overruns the resource (a 206 with
       // a shorter Content-Length than the request asked for). Believe the
       // head: without this the fetch waits forever for bytes the server

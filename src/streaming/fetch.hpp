@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "http/exchange.hpp"
+#include "obs/span.hpp"
 #include "streaming/clients.hpp"
 #include "streaming/retry.hpp"
 #include "streaming/video_server.hpp"
@@ -81,6 +82,10 @@ class FetchManager {
     std::uint64_t progress_mark{0};    ///< endpoint total_read at last watchdog check
     sim::EventHandle watchdog;
     bool persistent{false};
+    /// Logical-fetch lifecycle span (issue → first byte → done); survives
+    /// retries, so its duration covers backoffs and reissues too. Inert
+    /// when the world runs unobserved.
+    obs::Span span;
   };
 
   void start_fetch(tcp::Connection& conn, std::unique_ptr<VideoStreamServer> server,

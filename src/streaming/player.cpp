@@ -21,6 +21,7 @@ Player::Player(sim::Simulator& sim, PlayerConfig config)
     ctr_interrupts_ = &obs->metrics().counter("player.interrupts");
     ctr_rebuffers_ = &obs->metrics().counter("player.rebuffers");
   }
+  phase_span_ = obs::open_span(sim_, obs::SpanCategory::kPlayer, "buffering");
   clock_.start();
 }
 
@@ -44,13 +45,16 @@ void Player::maybe_start() {
     if (!stats_.started) {
       stats_.started = true;
       stats_.start_time_s = sim_.now().to_seconds();
+      phase_span_.close("started");
     } else if (stall_started_s_ >= 0.0) {
       // Recovered from a mid-playback stall: one rebuffer episode.
       ++stats_.rebuffer_count;
       stats_.longest_stall_s =
           std::max(stats_.longest_stall_s, sim_.now().to_seconds() - stall_started_s_);
       if (ctr_rebuffers_ != nullptr) ctr_rebuffers_->inc();
+      phase_span_.close("recovered");
     }
+    phase_span_ = obs::open_span(sim_, obs::SpanCategory::kPlayer, "steady");
     stall_started_s_ = -1.0;
   }
 }
@@ -62,6 +66,7 @@ void Player::interrupt() {
   clock_.stop();
   stats_.interrupted = true;
   stats_.interrupted_at_s = sim_.now().to_seconds();
+  phase_span_.close("interrupted");
   if (ctr_interrupts_ != nullptr) ctr_interrupts_->inc();
   if (obs::ObsContext* obs = sim_.obs(); obs != nullptr && obs->trace().active()) {
     obs->trace().emit(obs::PlayerInterrupt{sim_.now().to_seconds(), stats_.watched_s});
@@ -86,7 +91,12 @@ void Player::tick() {
   if (have == 0 && stats_.watched_s < config_.duration_s) {
     // Stall: buffer ran dry mid-playback.
     ++stats_.stall_count;
-    if (stall_started_s_ < 0.0) stall_started_s_ = sim_.now().to_seconds();
+    if (stall_started_s_ < 0.0) {
+      stall_started_s_ = sim_.now().to_seconds();
+      phase_span_.close("stalled");
+      phase_span_ = obs::open_span(sim_, obs::SpanCategory::kPlayer, "stall",
+                                   stats_.stall_count);
+    }
     if (ctr_stalls_ != nullptr) ctr_stalls_->inc();
     if (obs::ObsContext* obs = sim_.obs(); obs != nullptr && obs->trace().active()) {
       obs->trace().emit(obs::PlayerStall{sim_.now().to_seconds(), stats_.stall_count});
@@ -115,6 +125,7 @@ void Player::tick() {
     playing_ = false;
     clock_.stop();
     stats_.finished = true;
+    phase_span_.close("finished");
     if (on_finished_) on_finished_();
   }
 }

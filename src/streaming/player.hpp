@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 
+#include "obs/span.hpp"
 #include "sim/periodic_timer.hpp"
 #include "sim/simulator.hpp"
 
@@ -91,6 +92,9 @@ class Player {
   bool playing_{false};
   bool done_{false};
   double stall_started_s_{-1.0};  ///< sim time the current stall began; <0 = none
+  /// Current playback phase as an episode span: "buffering" → "steady" ⇄
+  /// "stall"; closed with the transition that ended the phase.
+  obs::Span phase_span_;
   obs::Counter* ctr_stalls_{nullptr};
   obs::Counter* ctr_interrupts_{nullptr};
   obs::Counter* ctr_rebuffers_{nullptr};

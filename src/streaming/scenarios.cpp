@@ -174,10 +174,11 @@ std::vector<NamedScenario> fault_scenarios(double capture_duration_s) {
   return out;
 }
 
-RunFingerprint fingerprint_session(const SessionConfig& config) {
+RunFingerprint fingerprint_session(const SessionConfig& config, obs::TraceSink* sink) {
   check::StateDigest digest;
   SessionConfig cfg = config;
   cfg.digest = &digest;
+  if (sink != nullptr) cfg.trace_sink = sink;
   const SessionResult result = run_session(cfg);
 
   RunFingerprint fp;

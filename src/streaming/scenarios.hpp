@@ -12,6 +12,10 @@
 
 #include "streaming/session.hpp"
 
+namespace vstream::obs {
+class TraceSink;
+}
+
 namespace vstream::streaming {
 
 struct NamedScenario {
@@ -48,6 +52,11 @@ struct RunFingerprint {
 };
 
 /// Run one scenario with a digest attached and fingerprint the result.
-[[nodiscard]] RunFingerprint fingerprint_session(const SessionConfig& config);
+/// `sink`, when given, is attached to the run's trace bus — which arms the
+/// span layer and every probe. Tracing is digest-neutral by contract, so a
+/// fingerprint must not change between an unobserved and an armed run; the
+/// determinism audit runs its second twin armed to enforce exactly that.
+[[nodiscard]] RunFingerprint fingerprint_session(const SessionConfig& config,
+                                                 obs::TraceSink* sink = nullptr);
 
 }  // namespace vstream::streaming

@@ -308,6 +308,15 @@ SessionResult run_session(const SessionConfig& cfg) {
   loop_monitor.stop();
   if (auxiliary) auxiliary->stop();
 
+  // Flush episode spans truncated by the capture cutoff while their owners
+  // are still alive; outstanding RAII handles become inert, so component
+  // destruction below cannot double-emit. The count is the teardown
+  // unclosed-span detector.
+  if (w.obs.trace().active()) {
+    const std::size_t truncated = w.obs.spans().close_all("capture_end");
+    w.obs.metrics().gauge("obs.spans_truncated").set(static_cast<double>(truncated));
+  }
+
   // Fault/recovery accounting, gathered from every layer that participated:
   // the fetch retry machinery, the player's rebuffer tracking, and the
   // impaired downstream link.

@@ -140,6 +140,10 @@ void Endpoint::note_advertised_window(std::uint64_t window_bytes) {
       e.duration_s = duration_s;
       obs->trace().emit(e);
     }
+    // The episode is only known at its end: retro-emit it as a span so the
+    // timeline exporter renders a proper slice.
+    obs::emit_span(sim_, zero_window_since_.to_seconds(), obs::SpanCategory::kTcp, "zero_window",
+                   connection_id_, label_);
   }
 }
 
@@ -407,6 +411,10 @@ void Endpoint::on_rto() {
   dup_acks_ = 0;
   rexmit_high_ = 0;
   rto_ = std::min(rto_ + rto_, options_.max_rto);  // exponential backoff
+  if (!recovery_span_.active()) {
+    recovery_span_ =
+        obs::open_span(sim_, obs::SpanCategory::kTcp, "rto_recovery", connection_id_);
+  }
   probe_cwnd();
 
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
@@ -669,6 +677,7 @@ void Endpoint::on_new_ack(std::uint64_t acked_bytes, std::uint64_t ack) {
       in_fast_recovery_ = false;
       dup_acks_ = 0;
       rexmit_high_ = 0;
+      recovery_span_.close("recovered");
     } else {
       // Partial ACK: retransmit the next un-SACKed hole, partial deflate.
       (void)retransmit_next_hole();
@@ -681,6 +690,8 @@ void Endpoint::on_new_ack(std::uint64_t acked_bytes, std::uint64_t ack) {
   }
 
   dup_acks_ = 0;
+  // A forward ACK after an RTO rollback ends that recovery episode.
+  recovery_span_.close("recovered");
   if (cwnd_ < ssthresh_) {
     // Slow start with Appropriate Byte Counting (RFC 3465, L=2), which keeps
     // exponential growth under delayed ACKs.
@@ -702,6 +713,10 @@ void Endpoint::enter_fast_recovery() {
   in_fast_recovery_ = true;
   ++stats_.fast_retransmits;
   if (ctr_fast_retransmits_ != nullptr) ctr_fast_retransmits_->inc();
+  if (!recovery_span_.active()) {
+    recovery_span_ =
+        obs::open_span(sim_, obs::SpanCategory::kTcp, "fast_recovery", connection_id_);
+  }
   probe_cwnd();
   rexmit_high_ = 0;
   (void)retransmit_next_hole();

@@ -22,6 +22,7 @@
 
 #include "net/link.hpp"
 #include "net/segment.hpp"
+#include "obs/span.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/options.hpp"
 #include "tcp/tag_channel.hpp"
@@ -233,6 +234,12 @@ class Endpoint {
   // Zero-window episode tracking (receive side, wire-visible transitions).
   bool advertising_zero_window_{false};
   sim::SimTime zero_window_since_{};
+
+  /// Loss-recovery episode span: opens on entering fast recovery or on an
+  /// RTO, closes at the first forward ACK. Named for how the episode began
+  /// ("fast_recovery" / "rto_recovery"); an escalation from fast recovery
+  /// to timeout keeps the original span open until recovery completes.
+  obs::Span recovery_span_;
 
   // Cached registry instruments; null when the world runs unobserved.
   obs::Counter* ctr_segments_sent_{nullptr};

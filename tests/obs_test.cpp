@@ -59,6 +59,63 @@ TEST(ObsMetricsTest, HistogramRejectsEmptyOrUnsortedBounds) {
   EXPECT_THROW((FixedHistogram{{5.0, 1.0}}), std::invalid_argument);
 }
 
+TEST(ObsMetricsTest, HistogramPercentilesInterpolateLinearly) {
+  MetricsSnapshot::HistogramData h;
+  h.bounds = {10.0, 20.0};
+  h.counts = {4, 4, 2};  // 4 in [0,10], 4 in (10,20], 2 overflow
+  h.count = 10;
+
+  // p20: rank 2 lands in the first bucket, which interpolates from 0.
+  EXPECT_DOUBLE_EQ(h.percentile(0.20), 5.0);
+  // p50: rank 5 is 1/4 into the second bucket's 4 samples.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 12.5);
+  // p90/p99: rank beyond the bounded buckets clamps to the last bound —
+  // the overflow bucket has no upper edge to interpolate toward.
+  EXPECT_DOUBLE_EQ(h.percentile(0.90), 20.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 20.0);
+  // Out-of-range quantiles clamp instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), 20.0);
+
+  MetricsSnapshot::HistogramData empty;
+  empty.bounds = {10.0};
+  empty.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(ObsMetricsTest, SnapshotJsonCarriesPercentiles) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {10.0, 20.0});
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  for (int i = 0; i < 4; ++i) h.observe(15.0);
+  h.observe(25.0);
+  h.observe(25.0);
+
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"p50\":12.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\":20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":20"), std::string::npos) << json;
+  // The percentile fields are derived, not state: parsing the document back
+  // reconstructs the same buckets and therefore the same percentiles.
+  const MetricsSnapshot back = parse_snapshot(json);
+  EXPECT_DOUBLE_EQ(back.histograms.at("lat").percentile(0.5), 12.5);
+}
+
+TEST(ObsMetricsTest, MergeRejectsMismatchedHistogramBounds) {
+  MetricsRegistry a;
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  MetricsRegistry with_other_bounds;
+  with_other_bounds.histogram("h", {1.0, 4.0}).observe(0.5);
+
+  MetricsSnapshot merged = a.snapshot();
+  EXPECT_THROW(merged.merge_from(with_other_bounds.snapshot()), std::invalid_argument);
+
+  // Same name, same bounds: merge is fine and buckets add.
+  MetricsRegistry compatible;
+  compatible.histogram("h", {1.0, 2.0}).observe(1.5);
+  merged.merge_from(compatible.snapshot());
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+}
+
 TEST(ObsMetricsTest, SnapshotJsonRoundTrip) {
   MetricsRegistry reg;
   reg.counter("tcp.segments_sent").inc(1234);

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 #include <vector>
 
@@ -126,6 +128,112 @@ TEST(ParallelSweepTest, MetricsMergeEqualsSerial) {
   const auto parallel_json = merge_all(ParallelSweep{4}.run_sessions(configs));
   EXPECT_FALSE(serial_json.empty());
   EXPECT_EQ(parallel_json, serial_json);
+}
+
+// ---- sweep profiler ------------------------------------------------------
+
+TEST(SweepProfilerTest, RecordAccumulatesPerWorkerPhases) {
+  SweepProfiler profiler{2};
+  profiler.record(0, SweepPhase::kBuild, 1.0);
+  profiler.record(1, SweepPhase::kRun, 2.0, 3);
+  profiler.record(1, SweepPhase::kRun, 0.5);
+  profiler.record(1, SweepPhase::kMerge, 0.25);
+  EXPECT_THROW(profiler.record(2, SweepPhase::kRun, 1.0), std::out_of_range);
+
+  const auto s = profiler.summary();
+  ASSERT_EQ(s.workers, 2u);
+  ASSERT_EQ(s.per_worker.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.per_worker[0].busy_s(), 1.0);
+  EXPECT_EQ(s.per_worker[0].tasks(), 1u);
+  EXPECT_DOUBLE_EQ(s.per_worker[1].phase_s[static_cast<std::size_t>(SweepPhase::kRun)], 2.5);
+  EXPECT_EQ(s.per_worker[1].phase_tasks[static_cast<std::size_t>(SweepPhase::kRun)], 4u);
+  EXPECT_DOUBLE_EQ(s.busy_s(), 3.75);
+  EXPECT_EQ(s.tasks(), 6u);
+  EXPECT_GE(s.wall_s, 0.0);
+}
+
+TEST(SweepProfilerTest, ScopeIsInertOnNullAndRecordsOneTaskOtherwise) {
+  { const SweepProfiler::Scope inert{nullptr, 0, SweepPhase::kRun}; }  // must not crash
+
+  SweepProfiler profiler{1};
+  { const SweepProfiler::Scope scope{&profiler, 0, SweepPhase::kAnalyze}; }
+  const auto s = profiler.summary();
+  EXPECT_EQ(s.per_worker[0].phase_tasks[static_cast<std::size_t>(SweepPhase::kAnalyze)], 1u);
+  EXPECT_GE(s.per_worker[0].busy_s(), 0.0);
+}
+
+TEST(SweepProfilerTest, UtilizationAndIdleDeriveFromWallTimesWorkers) {
+  SweepProfiler::Summary s;
+  s.workers = 2;
+  s.wall_s = 10.0;
+  s.per_worker.resize(2);
+  s.per_worker[0].phase_s[static_cast<std::size_t>(SweepPhase::kRun)] = 4.0;
+  s.per_worker[1].phase_s[static_cast<std::size_t>(SweepPhase::kRun)] = 1.0;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.25);  // 5 busy over 20 worker-seconds
+  EXPECT_DOUBLE_EQ(s.idle_s(), 15.0);
+
+  // Nested scopes can over-count busy time past the wall: clamp, don't lie
+  // with >100%.
+  s.per_worker[0].phase_s[static_cast<std::size_t>(SweepPhase::kRun)] = 25.0;
+  EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(s.idle_s(), 0.0);
+
+  SweepProfiler::Summary zero;
+  EXPECT_DOUBLE_EQ(zero.utilization(), 0.0);
+}
+
+TEST(SweepProfilerTest, SummaryJsonCarriesPerWorkerPhaseBreakdown) {
+  SweepProfiler::Summary s;
+  s.workers = 1;
+  s.wall_s = 2.0;
+  s.per_worker.resize(1);
+  s.per_worker[0].phase_s[static_cast<std::size_t>(SweepPhase::kBuild)] = 0.5;
+  s.per_worker[0].phase_tasks[static_cast<std::size_t>(SweepPhase::kBuild)] = 1;
+
+  const std::string json = s.to_json("unit");
+  EXPECT_NE(json.find("\"name\":\"unit\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"workers\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_s\":2.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\":0.250000"), std::string::npos);
+  EXPECT_NE(json.find("\"build\":{\"seconds\":0.500000,\"tasks\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"run\":{\"seconds\":0.000000,\"tasks\":0}"), std::string::npos);
+}
+
+TEST(SweepProfilerTest, PoolAttributesRunTasksToWorkers) {
+  EXPECT_EQ(ParallelSweep::current_worker(), 0u);  // caller thread is worker 0
+
+  ParallelSweep pool{3};
+  SweepProfiler profiler{pool.jobs()};
+  pool.set_profiler(&profiler);
+  constexpr std::size_t kCount = 120;
+  std::vector<std::atomic<std::size_t>> seen_worker(kCount);
+  pool.for_each_index(kCount, [&seen_worker](std::size_t i) {
+    seen_worker[i].store(ParallelSweep::current_worker());
+  });
+
+  const auto s = profiler.summary();
+  // Every index ran exactly once inside a kRun scope, attributed to a
+  // worker the profiler knows about.
+  EXPECT_EQ(s.tasks(), kCount);
+  const auto run_phase = static_cast<std::size_t>(SweepPhase::kRun);
+  std::uint64_t run_tasks = 0;
+  for (const auto& w : s.per_worker) run_tasks += w.phase_tasks[run_phase];
+  EXPECT_EQ(run_tasks, kCount);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_LT(seen_worker[i].load(), pool.jobs());
+}
+
+TEST(SweepProfilerTest, WriteJsonCreatesFileAndBadPathThrows) {
+  const std::string path = ::testing::TempDir() + "sweep_profile_test.json";
+  SweepProfiler profiler{1};
+  profiler.record(0, SweepPhase::kRun, 0.125);
+  profiler.write_json(path, "file-test");
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string content{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  EXPECT_EQ(content.rfind("{\"name\":\"file-test\"", 0), 0u);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(profiler.write_json("/nonexistent-dir/profile.json", "x"), std::runtime_error);
 }
 
 TEST(ParallelSweepTest, ZeroSessionsIsFine) {

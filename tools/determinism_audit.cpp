@@ -1,6 +1,12 @@
 // Determinism audit: run every canonical and fault-injection scenario twice
 // with the same seed and fail loudly if the twin state digests diverge.
 //
+// The second twin (and every parallel-audit run) is armed with a trace sink,
+// which switches on the span layer and every probe. Tracing is digest-
+// neutral by contract — spans read sim-time, never schedule events or touch
+// RNG — so an armed run must fingerprint identically to an unobserved one;
+// this audit is what enforces that.
+//
 // The digest folds the simulator's event dispatch order and per-segment TCP
 // state snapshots (see check/digest.hpp), so it catches the nondeterminism
 // classes sanitizers miss: unordered-container iteration feeding the event
@@ -22,6 +28,7 @@
 #include <iterator>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runner/parallel_sweep.hpp"
 #include "sim/determinism_canary.hpp"
 #include "streaming/scenarios.hpp"
@@ -77,7 +84,11 @@ int run_parallel_audit(double seconds, std::size_t jobs) {
   const vstream::runner::ParallelSweep pool{jobs};
   const auto parallel = pool.map<vstream::streaming::RunFingerprint>(
       scenarios.size(), [&scenarios](std::size_t i) {
-        return vstream::streaming::fingerprint_session(scenarios[i].config);
+        // Each parallel run is armed with its own bounded sink: the span
+        // layer and every probe fire, and the fingerprint must still match
+        // the unobserved serial run (tracing is digest-neutral).
+        vstream::obs::RingBufferSink sink{4096};
+        return vstream::streaming::fingerprint_session(scenarios[i].config, &sink);
       });
   int divergent = 0;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -117,7 +128,9 @@ int main(int argc, char** argv) {
   int divergent = 0;
   for (const auto& scenario : scenarios) {
     const auto first = vstream::streaming::fingerprint_session(scenario.config);
-    const auto second = vstream::streaming::fingerprint_session(scenario.config);
+    // Armed twin: spans and probes on, digest must not move.
+    vstream::obs::RingBufferSink sink{4096};
+    const auto second = vstream::streaming::fingerprint_session(scenario.config, &sink);
     const bool same = first == second;
     std::printf("%-40s %016llx %s\n", scenario.name.c_str(),
                 static_cast<unsigned long long>(first.digest), same ? "ok" : "DIVERGED");

@@ -1,0 +1,72 @@
+// trace_export: convert a vstream JSONL trace into Chrome trace-event JSON.
+//
+// The simulator's sinks write one JSON object per line (JsonlFileSink);
+// this tool re-parses those lines into TraceEvents and renders them with
+// the same ChromeTraceWriter the live ChromeTraceSink uses, so an archived
+// JSONL capture and a --trace-out run produce byte-identical timelines.
+// Load the output in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Usage: trace_export <trace.jsonl> [out.json]
+//   With no output path the Chrome JSON goes to stdout. Lines that don't
+//   parse as known trace events are counted and skipped (a trace file may
+//   interleave foreign records, e.g. a flight-recorder dump header).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <trace.jsonl> [out.json]\n"
+            << "  Converts a vstream JSONL trace to Chrome trace-event JSON\n"
+            << "  (open in https://ui.perfetto.dev or chrome://tracing).\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return usage(argv[0]);
+  const std::string in_path = argv[1];
+  if (in_path == "-h" || in_path == "--help") return usage(argv[0]);
+
+  std::ifstream in{in_path};
+  if (!in) {
+    std::cerr << "trace_export: cannot open " << in_path << "\n";
+    return 1;
+  }
+
+  vstream::obs::ChromeTraceWriter writer;
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto event = vstream::obs::from_jsonl(line)) {
+      writer.add(*event);
+      ++parsed;
+    } else {
+      ++skipped;
+    }
+  }
+
+  if (argc == 3) {
+    std::ofstream out{argv[2], std::ios::trunc};
+    if (!out) {
+      std::cerr << "trace_export: cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    writer.write(out);
+    std::cerr << "trace_export: " << parsed << " events -> " << argv[2];
+    if (skipped > 0) std::cerr << " (" << skipped << " unrecognized lines skipped)";
+    std::cerr << "\n";
+  } else {
+    writer.write(std::cout);
+  }
+  return 0;
+}

@@ -9,7 +9,10 @@ Rules (all scoped to C++ sources):
   wall-clock   no wall-clock reads (std::chrono::*_clock, time(), clock(),
                gettimeofday) inside simulation-driven code: simulated time
                comes from sim::Simulator. Scope: src/, examples/, tools/.
-               bench/ is host-side harness code and exempt.
+               bench/ is host-side harness code and exempt, as is
+               src/runner/sweep_profiler.* — the one sanctioned wall-clock
+               reader, which times the harness around session worlds and
+               never the worlds themselves.
   float-eq     no == / != against floating-point literals; compare with an
                explicit tolerance. Scope: src/, examples/, tools/, bench/.
   naked-new    no naked new/delete; use std::make_unique / std::make_shared
@@ -41,6 +44,12 @@ Rules (all scoped to C++ sources):
                Scope: ONLY src/net/dynamics.*, src/streaming/retry.hpp and
                src/streaming/fetch.* (the first rule that applies to named
                files rather than whole directories).
+  profiler-clock
+               the sweep profiler may READ the wall clock (that is its job)
+               but must never block on it: no sleep_for/sleep_until/usleep/
+               nanosleep. A sleeping profiler would skew the very phase
+               timings it reports and stall the worker it runs on.
+               Scope: ONLY src/runner/sweep_profiler.hpp/.cpp.
 
 Waivers: append `// vstream-lint: allow(<rule>): <reason>` to the offending
 line, or put `// vstream-lint-file: allow(<rule>): <reason>` anywhere in the
@@ -121,6 +130,15 @@ RULES = {
         "retry/backoff and impairment schedules must use sim::Time/sim::Duration, never wall-clock",
         ("src",),
     ),
+    "profiler-clock": (
+        re.compile(
+            r"(?<![\w:])sleep_(?:for|until)\s*\("
+            r"|(?<![\w:])u?sleep\s*\("
+            r"|(?<![\w:])nanosleep\s*\("
+        ),
+        "the sweep profiler reads the clock but must never sleep on it",
+        ("src",),
+    ),
 }
 
 # rule -> path prefixes (relative to the repo root) where it does not apply.
@@ -131,6 +149,14 @@ RULE_EXEMPT_PREFIXES = {
     # The legacy copy filters are defined in src/capture, and
     # TraceView::materialize delegates to them deliberately.
     "trace-copy": (("src", "capture"),),
+    # The sweep profiler is the one sanctioned wall-clock reader: it times
+    # the harness around session worlds (build/run/analyze/merge phases),
+    # never anything inside a world. The profiler-clock rule below still
+    # bans it from sleeping.
+    "wall-clock": (
+        ("src", "runner", "sweep_profiler.hpp"),
+        ("src", "runner", "sweep_profiler.cpp"),
+    ),
 }
 
 # rule -> path prefixes the rule is restricted to: it fires ONLY under one of
@@ -147,6 +173,13 @@ RULE_ONLY_PREFIXES = {
         ("src", "streaming", "retry.hpp"),
         ("src", "streaming", "fetch.hpp"),
         ("src", "streaming", "fetch.cpp"),
+    ),
+    # The profiler holds the wall-clock exemption above; this companion rule
+    # confines what that exemption licenses — reading the clock, never
+    # blocking on it.
+    "profiler-clock": (
+        ("src", "runner", "sweep_profiler.hpp"),
+        ("src", "runner", "sweep_profiler.cpp"),
     ),
 }
 
