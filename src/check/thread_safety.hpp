@@ -1,0 +1,62 @@
+// Clang thread-safety annotation macros (-Wthread-safety).
+//
+// The sweep engine's concurrency story is mostly *partition*, not locks:
+// each worker owns its session worlds outright and the merge runs serially
+// on the caller's thread. The few places that do share state under a mutex
+// annotate it with these macros so clang's thread-safety analysis proves,
+// at compile time, that every access happens with the right lock held.
+//
+// Annotation policy (DESIGN.md §12):
+//   - Lock-protected state is annotated statically: VSTREAM_GUARDED_BY on
+//     the data, VSTREAM_REQUIRES / VSTREAM_EXCLUDES on the accessors.
+//   - Partition-protected state (per-worker SweepProfiler cells, the
+//     shared-nothing session worlds themselves) cannot be expressed in the
+//     capability model; it is documented at the declaration and verified
+//     dynamically by the CI `tsan` job instead.
+//
+// The attributes are a clang extension: under GCC (the default dev
+// toolchain) every macro expands to nothing, and the analysis runs in the
+// CI static job's clang build with -Wthread-safety (see VSTREAM_THREAD_SAFETY
+// in CMakeLists.txt). Mirrors the abseil thread_annotations.h macro set.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define VSTREAM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VSTREAM_THREAD_ANNOTATION(x)
+#endif
+
+/// The annotated data member may only be read or written while holding the
+/// named capability (mutex).
+#define VSTREAM_GUARDED_BY(x) VSTREAM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-to-data variant: the pointer itself is free, the pointee is
+/// guarded.
+#define VSTREAM_PT_GUARDED_BY(x) VSTREAM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the capability.
+#define VSTREAM_REQUIRES(...) \
+  VSTREAM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called while holding the capability
+/// (it acquires it itself; calling with it held would deadlock).
+#define VSTREAM_EXCLUDES(...) \
+  VSTREAM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The annotated function acquires / releases the capability.
+#define VSTREAM_ACQUIRE(...) \
+  VSTREAM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VSTREAM_RELEASE(...) \
+  VSTREAM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Marks a type as a capability (std::mutex already is one in clang's
+/// builtin model; use this for wrapper types).
+#define VSTREAM_CAPABILITY(x) VSTREAM_THREAD_ANNOTATION(capability(x))
+
+/// RAII types whose constructor acquires and destructor releases.
+#define VSTREAM_SCOPED_CAPABILITY VSTREAM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Escape hatch for functions the analysis cannot model; every use must
+/// carry a comment naming the partition or protocol that makes it safe.
+#define VSTREAM_NO_THREAD_SAFETY_ANALYSIS \
+  VSTREAM_THREAD_ANNOTATION(no_thread_safety_analysis)

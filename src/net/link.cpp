@@ -130,8 +130,14 @@ bool Link::send(const TcpSegment& segment) {
   bool lost = loss_->should_drop(rng_);
   if (overlay_loss_) lost = overlay_loss_->should_drop(rng_) || lost;
 
-  // Serialisation completes: the segment leaves the queue.
-  sim_.schedule_at(tx_done, [this, segment, lost] {
+  // Serialisation completes: the segment leaves the queue. These are the
+  // two busiest scheduling sites in the tree — the static_asserts pin
+  // their closures to the SimCallback SBO fast path at compile time, so a
+  // future field on TcpSegment that pushes [this, segment, lost] past 128
+  // bytes fails the build here instead of silently heap-allocating per
+  // event (the AST wall's capture-size pass guards the sites it can size;
+  // these two are proven exactly).
+  auto transmit = [this, segment, lost] {
     queued_bytes_ -= segment.wire_bytes();
     notify(segment, LinkEvent::kTransmit);
     if (lost) {
@@ -140,14 +146,20 @@ bool Link::send(const TcpSegment& segment) {
       notify(segment, LinkEvent::kDropLoss);
       return;
     }
-    sim_.schedule_after(config_.prop_delay + extra_delay_, [this, segment] {
+    auto deliver = [this, segment] {
       ++counters_.delivered;
       if (ctr_delivered_ != nullptr) ctr_delivered_->inc();
       counters_.bytes_delivered += segment.wire_bytes();
       notify(segment, LinkEvent::kDeliver);
       receiver_(segment);
-    });
-  });
+    };
+    static_assert(sim::SimCallback::fits_inline<decltype(deliver)>(),
+                  "Link delivery closure must stay on the SimCallback SBO fast path");
+    sim_.schedule_after(config_.prop_delay + extra_delay_, std::move(deliver));
+  };
+  static_assert(sim::SimCallback::fits_inline<decltype(transmit)>(),
+                "Link transmit closure must stay on the SimCallback SBO fast path");
+  sim_.schedule_at(tx_done, std::move(transmit));
   return true;
 }
 

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "check/thread_safety.hpp"
+
 namespace vstream::runner {
 
 namespace {
@@ -13,7 +15,40 @@ namespace {
 // Which pool worker the current thread is: set by for_each_index before a
 // worker starts draining, reset after. Thread-local so nested tools that
 // query it off-pool see a stable 0 (the caller's thread is worker 0).
+// Allowlisted in tools/vstream_ast_lint.py: harness-side attribution only,
+// never read inside a session world.
 thread_local std::size_t t_worker_index = 0;
+
+// First-error capture shared by the pool's workers — the one piece of
+// lock-protected state in a sweep (everything else is partitioned per
+// worker). The clang thread-safety annotations let -Wthread-safety prove
+// at compile time that no path touches first_ without holding mutex_.
+class ErrorCollector {
+ public:
+  /// Record `error` if it is the first one seen; later errors are dropped
+  /// (the sweep still drains every index, and rethrowing one exception is
+  /// all for_each_index promises).
+  void capture(std::exception_ptr error) VSTREAM_EXCLUDES(mutex_) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (!first_) first_ = std::move(error);
+  }
+
+  /// Rethrow the captured error, if any. Called after the pool has joined,
+  /// but takes the lock anyway — uncontended at that point, and it keeps
+  /// the annotated invariant unconditional instead of "true after join".
+  void rethrow_if_any() VSTREAM_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      error = first_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr first_ VSTREAM_GUARDED_BY(mutex_);
+};
 
 }  // namespace
 
@@ -21,6 +56,8 @@ std::size_t ParallelSweep::current_worker() { return t_worker_index; }
 
 std::size_t job_count(std::size_t requested) {
   if (requested > 0) return requested;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once on the caller's thread
+  // before any pool thread exists; nothing in the tree calls setenv.
   if (const char* env = std::getenv("VSTREAM_JOBS")) {
     const long n = std::strtol(env, nullptr, 10);
     if (n > 0) return static_cast<std::size_t>(n);
@@ -55,8 +92,7 @@ void ParallelSweep::for_each_index(std::size_t count,
   // (180 s Netflix worlds vs 30 s Flash clips), so static striping would
   // leave workers idle at the tail.
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorCollector errors;
   const auto drain = [&](std::size_t worker) {
     t_worker_index = worker;
     for (;;) {
@@ -65,8 +101,7 @@ void ParallelSweep::for_each_index(std::size_t count,
       try {
         run_one(i, worker);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
+        errors.capture(std::current_exception());
       }
     }
     t_worker_index = 0;
@@ -77,7 +112,7 @@ void ParallelSweep::for_each_index(std::size_t count,
   for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain, w);
   drain(0);  // the caller's thread is worker 0
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  errors.rethrow_if_any();
 }
 
 std::vector<streaming::SessionResult> ParallelSweep::run_sessions(

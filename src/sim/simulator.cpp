@@ -11,6 +11,7 @@ namespace vstream::sim {
 
 EventHandle Simulator::schedule_at(SimTime at, SimCallback&& fn) {
   if (!fn) throw std::invalid_argument{"Simulator::schedule_at: empty callback"};
+  if (!fn.stored_inline()) ++heap_fallback_schedules_;
   const std::uint32_t slot = acquire_slot();
   slots_[slot].fn = std::move(fn);
   return commit_schedule(at, slot);

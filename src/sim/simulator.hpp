@@ -75,6 +75,10 @@ class Simulator {
             typename = std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Fn>, SimCallback> &&
                                         std::is_invocable_r_v<void, std::remove_cvref_t<Fn>&>>>
   EventHandle schedule_at(SimTime at, Fn&& fn) {
+    // Dynamic complement to the AST wall's capture-size pass: the static
+    // pass flags the overflows it can prove, this counter catches the rest
+    // at runtime. Resolved per instantiation, so the fast path pays nothing.
+    if constexpr (!SimCallback::fits_inline<Fn>()) ++heap_fallback_schedules_;
     const std::uint32_t slot = acquire_slot();
     slots_[slot].fn.emplace(std::forward<Fn>(fn));
     return commit_schedule(at, slot);
@@ -116,6 +120,13 @@ class Simulator {
   /// created and slots currently on the free list.
   [[nodiscard]] std::size_t arena_slots() const { return slots_.size(); }
   [[nodiscard]] std::size_t arena_free_slots() const { return free_slots_.size(); }
+  /// Events scheduled whose closure overflowed the SimCallback SBO and
+  /// took the heap-fallback path. Hot-path code must keep this at zero;
+  /// tests pin it (the static capture-size pass flags only the overflows
+  /// it can size, so this is the wall's dynamic backstop).
+  [[nodiscard]] std::uint64_t heap_fallback_schedules() const {
+    return heap_fallback_schedules_;
+  }
 
   /// Attach (or clear, with nullptr) this world's observability context.
   /// The simulator does not own it; instrumented components reach it via
@@ -182,6 +193,7 @@ class Simulator {
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
   std::uint64_t events_processed_{0};
+  std::uint64_t heap_fallback_schedules_{0};
   std::size_t live_events_{0};
   /// Slots whose callback is currently executing in place: released from
   /// the live count (handles must read not-pending during the callback) but

@@ -1,0 +1,49 @@
+// Seeded capture-size violations for ast_lint_test: lambdas scheduled into
+// the simulator whose closures provably exceed the 128-byte SimCallback
+// SBO. Self-contained stand-ins for the sim types — the analyzer matches
+// scheduling sites by name, exactly as it does in src/.
+#include <array>
+#include <cstdint>
+
+namespace vstream::sim {
+class EventHandle {};
+class Simulator {
+ public:
+  template <typename F>
+  EventHandle schedule_after(double delay, F&& fn);
+  template <typename F>
+  EventHandle schedule_at(double at, F&& fn);
+};
+}  // namespace vstream::sim
+
+namespace vstream::fixture {
+
+void oversized_array_capture(sim::Simulator& sim) {
+  std::array<std::uint8_t, 256> payload{};
+  // 256 bytes by value: heap fallback on every scheduled event. Flagged.
+  sim.schedule_after(1.0, [payload] { (void)payload; });
+}
+
+void oversized_mixed_capture(sim::Simulator& sim) {
+  std::array<double, 20> samples{};  // 160 bytes
+  std::uint64_t total = 0;
+  // 160 + 8 = 168 bytes: flagged even with small companions.
+  sim.schedule_at(2.0, [samples, total] { (void)samples; (void)total; });
+}
+
+void oversized_c_array_capture(sim::Simulator& sim) {
+  double window[40] = {};  // 320 bytes
+  sim.schedule_after(0.5, [window] { (void)window; });
+}
+
+void small_captures_stay_clean(sim::Simulator& sim) {
+  std::array<std::uint8_t, 256> payload{};
+  std::uint64_t seq = 7;
+  double rate = 1.5e6;
+  // By reference: 8 bytes each. Clean.
+  sim.schedule_after(1.0, [&payload, seq, rate] { (void)payload; (void)seq; (void)rate; });
+  // Small by-value captures: clean.
+  sim.schedule_at(3.0, [seq, rate] { (void)seq; (void)rate; });
+}
+
+}  // namespace vstream::fixture

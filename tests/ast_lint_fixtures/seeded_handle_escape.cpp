@@ -1,0 +1,31 @@
+// Seeded handle-escape violations for ast_lint_test: sim::EventHandle
+// values with static storage duration. A handle is a {slot, generation}
+// token into one world's event arena; parking one in static storage lets
+// it outlive the arena generation it indexes.
+#include <vector>
+
+namespace vstream::sim {
+class EventHandle {};
+}  // namespace vstream::sim
+
+namespace vstream::fixture {
+
+// Namespace-scope handle: outlives every world. Flagged.
+sim::EventHandle g_retry_timer;
+
+// Static container of handles: same escape, one level removed. Flagged.
+static std::vector<sim::EventHandle> g_pending_timers;
+
+struct Watchdog {
+  // A member handle inside a world-owned component is the intended
+  // pattern: clean.
+  sim::EventHandle armed;
+};
+
+sim::EventHandle* borrow() {
+  // Static local handle: persists across worlds on this process. Flagged.
+  static sim::EventHandle cached;
+  return &cached;
+}
+
+}  // namespace vstream::fixture

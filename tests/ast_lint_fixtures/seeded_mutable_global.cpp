@@ -1,0 +1,46 @@
+// Seeded mutable-global violations for ast_lint_test. Never compiled into
+// any target — this file exists only to be analyzed by vstream_ast_lint.py,
+// so it is deliberately self-contained (no repo includes).
+#include <cstdint>
+#include <string>
+
+namespace vstream::fixture {
+
+// Each of these is shared across every session world in a process and must
+// be flagged.
+int g_sessions_started = 0;
+std::uint64_t g_bytes_total{0};
+static double g_last_rate = 0.0;
+const char* g_phase_name = "buffering";  // pointee const, pointer mutable
+
+// thread_local does not share across workers, but leaks state between
+// successive worlds on the same worker thread: flagged too.
+thread_local int t_scratch = 0;
+
+// A waiver with a reason silences the pass for exactly that line.
+int g_waived_counter = 0;  // vstream-ast-lint: allow(mutable-global): fixture proves waiver parsing works
+
+// None of the following may be flagged.
+const int kMaxSessions = 4096;
+constexpr double kTargetRate = 2.5e6;
+const char* const kServiceName = "netflix";
+static const std::string kCdnHost{"cdn.example"};
+
+struct SessionCounters {
+  // Non-static members are per-instance, per-world state: clean.
+  std::uint64_t bytes_delivered{0};
+  int rebuffer_events{0};
+  // A mutable static data member is process-wide: flagged.
+  static int live_instances;
+  // Class-scope constants are clean.
+  static constexpr int kMaxRetries = 5;
+};
+
+int session_serial() {
+  // Function-local statics persist across worlds: flagged.
+  static int serial = 0;
+  static const int kBase = 1000;  // clean: immutable
+  return kBase + ++serial;
+}
+
+}  // namespace vstream::fixture

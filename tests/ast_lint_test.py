@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""ctest driver for tools/vstream_ast_lint.py.
+
+Four properties, each of which has caught a real analyzer bug during
+development:
+
+  1. Seeded fixtures: the analyzer run over tests/ast_lint_fixtures/
+     reproduces expected_findings.txt exactly (golden match) and exits 1.
+     The fixtures seed every pass — mutable globals (namespace scope,
+     static local, thread_local, static data member), >128-byte lambda
+     captures at scheduling sites, and static-storage EventHandles — plus
+     const/member/waived shapes that must stay silent.
+  2. Clean tree: the analyzer over src/ reports zero findings and exits 0.
+     This is the wall: a new mutable global or SBO-busting capture in src/
+     turns this test red.
+  3. Exit-code convention: 0 clean / 1 findings / 2 usage error, shared
+     with vstream_lint.py and check_bench_floor.py.
+  4. Constant agreement: the analyzer's SBO budget equals
+     sim::SimCallback::kInlineBytes in src/sim/callback.hpp, so the wall
+     cannot drift from the code it guards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_lint(repo_root: Path, *args: str) -> tuple[int, str]:
+    tool = repo_root / "tools" / "vstream_ast_lint.py"
+    proc = subprocess.run(
+        [sys.executable, str(tool), "--frontend", "tokens", *args],
+        capture_output=True, text=True, check=False,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def findings_only(output: str) -> list[str]:
+    return [line for line in output.splitlines()
+            if line and not line.startswith("vstream_ast_lint")]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repo-root", type=Path, required=True)
+    args = parser.parse_args()
+    root = args.repo_root.resolve()
+    fixtures = root / "tests" / "ast_lint_fixtures"
+    failures: list[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        status = "ok" if ok else "FAIL"
+        print(f"[{status}] {name}")
+        if not ok:
+            failures.append(f"{name}: {detail}")
+            if detail:
+                print(detail)
+
+    # 1. Golden match over the seeded fixtures.
+    fixture_files = sorted(str(p) for p in fixtures.glob("*.cpp"))
+    code, output = run_lint(root, "--root", str(fixtures), *fixture_files)
+    got = findings_only(output)
+    expected = [
+        line for line in
+        (fixtures / "expected_findings.txt").read_text(encoding="utf-8").splitlines()
+        if line
+    ]
+    check("fixtures exit code is 1 (findings)", code == 1, f"exit={code}")
+    diff = "\n".join(
+        f"  -{e}" for e in expected if e not in got
+    ) + "\n".join(
+        f"  +{g}" for g in got if g not in expected
+    )
+    check("fixture findings golden-match expected_findings.txt",
+          got == expected, diff)
+
+    # Every pass must appear among the fixture findings — a pass that stops
+    # firing entirely would otherwise pass the clean-tree check vacuously.
+    for pass_name in ("mutable-global", "capture-size", "handle-escape"):
+        check(f"fixtures exercise pass '{pass_name}'",
+              any(f"[{pass_name}]" in line for line in got), output)
+
+    # The waived fixture line must stay silent.
+    check("waived fixture line is suppressed",
+          not any("g_waived_counter" in line for line in got), output)
+
+    # 2. Clean tree: zero findings over src/.
+    code, output = run_lint(root, "--root", str(root))
+    check("clean tree reports zero findings (exit 0)",
+          code == 0 and not findings_only(output),
+          output)
+
+    # 3. Usage errors exit 2.
+    code, _ = run_lint(root, "--passes", "no-such-pass")
+    check("unknown pass exits 2", code == 2, f"exit={code}")
+    code, _ = run_lint(root, str(root / "tests" / "no_such_file.cpp"))
+    check("missing input file exits 2", code == 2, f"exit={code}")
+
+    # 4. SBO budget agreement with src/sim/callback.hpp.
+    callback = (root / "src" / "sim" / "callback.hpp").read_text(encoding="utf-8")
+    header = re.search(r"kInlineBytes\s*=\s*(\d+)", callback)
+    tool_text = (root / "tools" / "vstream_ast_lint.py").read_text(encoding="utf-8")
+    tool = re.search(r"^SBO_BYTES\s*=\s*(\d+)", tool_text, re.MULTILINE)
+    check("SBO budget matches sim::SimCallback::kInlineBytes",
+          header is not None and tool is not None and header.group(1) == tool.group(1),
+          f"header={header and header.group(1)} tool={tool and tool.group(1)}")
+
+    if failures:
+        print(f"\nast_lint_test: {len(failures)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("\nast_lint_test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

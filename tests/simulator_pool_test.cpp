@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -241,6 +242,45 @@ TEST(SimCallbackTest, PrebuiltCallbackSchedules) {
   sim.schedule_after(Duration::millis(1), std::move(cb));
   sim.run();
   EXPECT_EQ(fires, 1);
+}
+
+TEST(SimCallbackTest, HeapFallbackCounterStaysZeroOnCommonShapes) {
+  Simulator sim;
+  int fires = 0;
+  double rate = 2.5e6;
+  std::uint64_t seq = 7;
+  sim.schedule_after(Duration::millis(1), [&fires] { ++fires; });
+  sim.schedule_after(Duration::millis(2), [&fires, rate, seq] {
+    ++fires;
+    (void)rate;
+    (void)seq;
+  });
+  SimCallback prebuilt{[&fires] { ++fires; }};
+  sim.schedule_after(Duration::millis(3), std::move(prebuilt));
+  sim.run();
+  EXPECT_EQ(fires, 3);
+  // The wall's dynamic backstop: every common capture shape stays on the
+  // SBO fast path, so nothing here may register a heap fallback.
+  EXPECT_EQ(sim.heap_fallback_schedules(), 0u);
+}
+
+TEST(SimCallbackTest, HeapFallbackCounterCountsOversizedClosures) {
+  Simulator sim;
+  std::array<char, SimCallback::kInlineBytes + 1> big{};
+  int fires = 0;
+  sim.schedule_after(Duration::millis(1), [big, &fires] {
+    ++fires;
+    (void)big;
+  });  // vstream-ast-lint: allow(capture-size): deliberately oversized — this test proves the dynamic counter sees what the static pass flags
+  SimCallback prebuilt{[big, &fires] {
+    ++fires;
+    (void)big;
+  }};  // vstream-ast-lint: allow(capture-size): same deliberate overflow via the prebuilt-callback path
+  EXPECT_FALSE(prebuilt.stored_inline());
+  sim.schedule_after(Duration::millis(2), std::move(prebuilt));
+  sim.run();
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(sim.heap_fallback_schedules(), 2u);
 }
 
 TEST(EventArenaTest, CancelKeepsClockUntouched) {

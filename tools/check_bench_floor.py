@@ -10,7 +10,12 @@ a metric fails when `measured < floor * (1 - tolerance)`. Metrics missing
 from the telemetry's "extra" object fail too — silently losing a measurement
 is itself a regression in the perf harness.
 
-Exit status: 0 when every metric clears its floor, 1 otherwise.
+Exit status (the repo-wide analyzer convention, shared with
+vstream_lint.py and vstream_ast_lint.py):
+  0  every metric clears its floor
+  1  findings — at least one metric regressed or went missing
+  2  usage or environment error (wrong arguments, unreadable or malformed
+     telemetry/floor files)
 """
 
 from __future__ import annotations
@@ -24,10 +29,20 @@ def main(argv: list[str]) -> int:
         print(__doc__, file=sys.stderr)
         return 2
 
-    with open(argv[1], encoding="utf-8") as f:
-        report = json.load(f)
-    with open(argv[2], encoding="utf-8") as f:
-        floor_spec = json.load(f)
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            report = json.load(f)
+        with open(argv[2], encoding="utf-8") as f:
+            floor_spec = json.load(f)
+    except OSError as exc:
+        print(f"check_bench_floor: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"check_bench_floor: malformed JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(floor_spec.get("metrics"), dict):
+        print("check_bench_floor: floor file has no 'metrics' object", file=sys.stderr)
+        return 2
 
     extra = report.get("extra", {})
     tolerance = float(floor_spec.get("tolerance", 0.0))

@@ -5,10 +5,13 @@ Rules (all scoped to C++ sources):
 
   rand         no rand()/srand()/random() — all stochastic behaviour must
                flow through sim::Rng so a run is reproducible from its seed.
-               Scope: src/, examples/, tools/, bench/.
+               Scope: src/, examples/, tools/, bench/, tests/ (a test that
+               draws from an unseeded PRNG flakes by construction).
   wall-clock   no wall-clock reads (std::chrono::*_clock, time(), clock(),
                gettimeofday) inside simulation-driven code: simulated time
-               comes from sim::Simulator. Scope: src/, examples/, tools/.
+               comes from sim::Simulator. Scope: src/, examples/, tools/,
+               tests/ (a test that reads the host clock is timing-flaky and
+               cannot assert on sim-time invariants).
                bench/ is host-side harness code and exempt, as is
                src/runner/sweep_profiler.* — the one sanctioned wall-clock
                reader, which times the harness around session worlds and
@@ -19,8 +22,9 @@ Rules (all scoped to C++ sources):
                or containers. Scope: src/, examples/, tools/, bench/.
   bare-assert  no <cassert> assert() — it vanishes under NDEBUG, so CI
                builds would not run it. Use the VSTREAM_* contract macros
-               (src/check/contracts.hpp). static_assert is fine.
-               Scope: src/, examples/, tools/, bench/.
+               (src/check/contracts.hpp); in tests/, use the GTest
+               EXPECT_*/ASSERT_* macros. static_assert is fine.
+               Scope: src/, examples/, tools/, bench/, tests/.
   thread       no std::thread / std::jthread / std::async / <thread> /
                <future> outside src/runner — each simulated world is
                single-threaded by construction (that is what makes twin-run
@@ -55,7 +59,9 @@ Waivers: append `// vstream-lint: allow(<rule>): <reason>` to the offending
 line, or put `// vstream-lint-file: allow(<rule>): <reason>` anywhere in the
 file to waive the rule for the whole file. Reasons are mandatory.
 
-Exit status: 0 clean, 1 findings, 2 usage error.
+Exit status (the repo-wide analyzer convention, shared with
+vstream_ast_lint.py and check_bench_floor.py): 0 clean, 1 findings,
+2 usage or environment error.
 """
 
 from __future__ import annotations
@@ -77,7 +83,7 @@ RULES = {
     "rand": (
         re.compile(r"(?<![\w:])(?:std::)?s?rand(?:om)?\s*\("),
         "rand()/srand()/random() breaks seeded reproducibility; use sim::Rng",
-        ("src", "examples", "tools", "bench"),
+        ("src", "examples", "tools", "bench", "tests"),
     ),
     "wall-clock": (
         re.compile(
@@ -87,7 +93,7 @@ RULES = {
             r"|(?<![\w:])gettimeofday\s*\("
         ),
         "wall-clock read inside simulation-driven code; use sim::Simulator::now()",
-        ("src", "examples", "tools"),
+        ("src", "examples", "tools", "tests"),
     ),
     "float-eq": (
         re.compile(
@@ -104,8 +110,9 @@ RULES = {
     ),
     "bare-assert": (
         re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<cassert>|#\s*include\s*<assert\.h>"),
-        "bare assert() vanishes under NDEBUG; use VSTREAM_INVARIANT / _PRECONDITION",
-        ("src", "examples", "tools", "bench"),
+        "bare assert() vanishes under NDEBUG; use VSTREAM_INVARIANT / _PRECONDITION "
+        "(tests: GTest EXPECT_*/ASSERT_*)",
+        ("src", "examples", "tools", "bench", "tests"),
     ),
     "thread": (
         re.compile(
@@ -238,7 +245,7 @@ def main() -> int:
         files = [p.resolve() for p in args.paths if p.suffix in CPP_SUFFIXES]
     else:
         files = sorted(
-            p for top in ("src", "examples", "tools", "bench")
+            p for top in ("src", "examples", "tools", "bench", "tests")
             for p in (root / top).rglob("*") if p.suffix in CPP_SUFFIXES
         )
 
