@@ -10,10 +10,25 @@
 //
 // Usage: capacity_planner [--profile-out [path]] [--trace-out path]
 //                         [lambda_per_s] [mean_rate_mbps] [mean_duration_s]
+//        capacity_planner --capacity N [--seconds S] [--shards K --shard I]
+//                         [--shard-out PATH]
+//        capacity_planner --merge [--expect-digest HEX] shard.json...
 //
 // The empirical cross-check at the end simulates full sessions; those fan
 // out across cores (worker count from VSTREAM_JOBS, default hardware
 // concurrency, 1 = serial).
+//
+// --capacity runs N full packet-level sessions through the streamed sweep
+// path (runner/session_sweep.hpp): results fold into per-worker
+// accumulators as they finish, so memory stays bounded however large N is
+// (the README's million-session run uses exactly this mode). --shards K
+// --shard I runs the I-th contiguous slice of the N global session indices
+// in this process; --shard-out writes the slice's aggregate + digest (plus
+// this process's peak RSS) as JSON. --merge reads shard payloads back,
+// verifies they tile [0, N) exactly, XOR-merges the digests — bit-equal to
+// the unsharded digest by construction — and prints the combined aggregate;
+// --expect-digest makes the merge fail loudly unless the combined digest
+// matches (CI pins the sharded run against an unsharded twin this way).
 //
 // --profile-out arms a runner::SweepProfiler on the session pool and writes
 // per-worker phase timings, task counts, and utilization to `path`
@@ -21,10 +36,13 @@
 // publishes. --trace-out attaches a Chrome-trace sink to the sweep's first
 // session, so one representative world's span timeline lands beside the
 // capacity numbers.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,12 +51,184 @@
 #include "model/interruption.hpp"
 #include "obs/chrome_trace.hpp"
 #include "runner/parallel_sweep.hpp"
+#include "runner/session_sweep.hpp"
 #include "runner/sweep_profiler.hpp"
 #include "streaming/session_builder.hpp"
 
 namespace {
 
 using namespace vstream;
+
+/// Peak resident set of this process in kB (Linux VmHWM), 0 if unreadable.
+/// This is the number the million-session claim rests on: it must stay flat
+/// as --capacity grows, because the streamed sweep never materializes
+/// results.
+std::size_t peak_rss_kb() {
+  std::ifstream status{"/proc/self/status"};
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::atoll(line.c_str() + 6));
+    }
+  }
+  return 0;
+}
+
+/// The capacity population: a deterministic function of the *global* session
+/// index, so every shard generates exactly the sessions of its slice and
+/// the sharded digest merges to the unsharded one. Mixes containers,
+/// vantages and encoding rates the way the paper's Table 1 population does.
+streaming::SessionConfig capacity_config(std::size_t g, double seconds) {
+  static constexpr net::Vantage kVantages[] = {net::Vantage::kResearch, net::Vantage::kResidence,
+                                               net::Vantage::kAcademic, net::Vantage::kHome};
+  video::VideoMeta meta;
+  meta.id = "capacity";
+  meta.duration_s = 120.0;
+  meta.encoding_bps = 1.0e6 + 2.5e5 * static_cast<double>(g % 5);
+  meta.container = g % 2 == 0 ? video::Container::kFlash : video::Container::kHtml5;
+  return streaming::SessionBuilder{}
+      .vantage(kVantages[g % 4])
+      .video(meta)
+      .container(meta.container)
+      .capture_duration_s(seconds)
+      .seed(900000 + g)
+      .store_trace(false)  // aggregates only: memory stays O(1) per session
+      .build();
+}
+
+int run_capacity(std::size_t capacity, double seconds, std::size_t shards, std::size_t shard,
+                 const std::string& shard_out) {
+  if (shard >= shards) {
+    std::fprintf(stderr, "capacity_planner: --shard %zu out of range for --shards %zu\n", shard,
+                 shards);
+    return 2;
+  }
+  // Contiguous slices: shard i owns [i*N/K, (i+1)*N/K) of the global range.
+  const std::size_t first = capacity * shard / shards;
+  const std::size_t count = capacity * (shard + 1) / shards - first;
+
+  runner::ParallelSweep pool;
+  runner::SweepProfiler profiler{pool.jobs()};
+  pool.set_profiler(&profiler);
+
+  std::printf("== capacity run ==\n");
+  std::printf("sessions %zu..%zu of %zu (shard %zu/%zu), %.2f s capture, %zu workers\n", first,
+              first + count, capacity, shard, shards, seconds, pool.jobs());
+
+  const runner::SweepAccumulator acc = runner::run_sessions_streamed(
+      pool, first, count, [seconds](std::size_t g) { return capacity_config(g, seconds); });
+
+  const auto summary = profiler.summary();
+  const std::size_t rss_kb = peak_rss_kb();
+  std::printf("  %llu sessions, %llu sim events, %.1f GB downloaded\n",
+              static_cast<unsigned long long>(acc.sessions),
+              static_cast<unsigned long long>(acc.sim_events),
+              static_cast<double>(acc.bytes_downloaded) / 1e9);
+  std::printf("  mean session download rate %.2f Mbps, %llu rebuffers, %llu retries\n",
+              acc.mean_download_rate_bps() / 1e6,
+              static_cast<unsigned long long>(acc.rebuffer_count),
+              static_cast<unsigned long long>(acc.fetch_retries));
+  std::printf("  sweep digest %016llx over %llu sessions\n",
+              static_cast<unsigned long long>(acc.digest.combined),
+              static_cast<unsigned long long>(acc.digest.sessions));
+  if (summary.wall_s > 0.0) {
+    std::printf("  %.1f s wall, %.0f sessions/s, %.0f%% utilization, peak RSS %.1f MB\n",
+                summary.wall_s, static_cast<double>(acc.sessions) / summary.wall_s,
+                summary.utilization() * 100.0, static_cast<double>(rss_kb) / 1024.0);
+  }
+
+  if (!shard_out.empty()) {
+    // Graft the RSS bound into the payload so the merge report can show the
+    // worst shard without re-running anything.
+    std::string json = acc.to_json("capacity", shard, shards, first, count);
+    json.pop_back();  // trailing '}'
+    json += ",\"peak_rss_kb\":" + std::to_string(rss_kb) + "}";
+    std::ofstream out{shard_out, std::ios::trunc};
+    if (!out) {
+      std::fprintf(stderr, "capacity_planner: cannot write %s\n", shard_out.c_str());
+      return 2;
+    }
+    out << json << "\n";
+    std::printf("  shard payload written: %s\n", shard_out.c_str());
+  }
+  return 0;
+}
+
+int run_merge(const std::vector<std::string>& paths, const std::string& expect_digest) {
+  if (paths.empty()) {
+    std::fprintf(stderr, "capacity_planner: --merge needs at least one shard payload\n");
+    return 2;
+  }
+  runner::SweepAccumulator merged;
+  std::size_t shards_expected = 0;
+  std::size_t covered_end = 0;  // shards must tile [0, N) in order after sort-by-first
+  struct Slice {
+    std::size_t shard, first, count;
+  };
+  std::vector<Slice> slices;
+  for (const auto& path : paths) {
+    std::size_t shard = 0;
+    std::size_t shards = 0;
+    std::size_t first = 0;
+    std::size_t count = 0;
+    const auto acc = runner::SweepAccumulator::from_json_file(path, shard, shards, first, count);
+    if (shards_expected == 0) shards_expected = shards;
+    if (shards != shards_expected) {
+      std::fprintf(stderr, "capacity_planner: %s declares %zu shards, expected %zu\n",
+                   path.c_str(), shards, shards_expected);
+      return 2;
+    }
+    slices.push_back(Slice{shard, first, count});
+    merged.merge(acc);
+  }
+  if (slices.size() != shards_expected) {
+    std::fprintf(stderr, "capacity_planner: merged %zu payloads but the run had %zu shards\n",
+                 slices.size(), shards_expected);
+    return 2;
+  }
+  // Coverage check: sort by range start, require an exact tiling from 0.
+  std::sort(slices.begin(), slices.end(),
+            [](const Slice& a, const Slice& b) { return a.first < b.first; });
+  for (const Slice& s : slices) {
+    if (s.first != covered_end) {
+      std::fprintf(stderr, "capacity_planner: shard %zu starts at %zu, expected %zu — gap/overlap\n",
+                   s.shard, s.first, covered_end);
+      return 2;
+    }
+    covered_end = s.first + s.count;
+  }
+
+  std::printf("== sharded capacity merge ==\n");
+  std::printf("  %zu shards tile sessions [0, %zu) exactly\n", slices.size(), covered_end);
+  std::printf("  %llu sessions, %llu sim events, %.1f GB downloaded\n",
+              static_cast<unsigned long long>(merged.sessions),
+              static_cast<unsigned long long>(merged.sim_events),
+              static_cast<double>(merged.bytes_downloaded) / 1e9);
+  std::printf("  mean session download rate %.2f Mbps, %llu rebuffers, %llu retries\n",
+              merged.mean_download_rate_bps() / 1e6,
+              static_cast<unsigned long long>(merged.rebuffer_count),
+              static_cast<unsigned long long>(merged.fetch_retries));
+  std::printf("  merged sweep digest %016llx over %llu sessions\n",
+              static_cast<unsigned long long>(merged.digest.combined),
+              static_cast<unsigned long long>(merged.digest.sessions));
+  if (merged.digest.sessions != covered_end) {
+    std::fprintf(stderr, "capacity_planner: digest covers %llu sessions, range covers %zu\n",
+                 static_cast<unsigned long long>(merged.digest.sessions), covered_end);
+    return 2;
+  }
+  if (!expect_digest.empty()) {
+    const auto expected =
+        static_cast<std::uint64_t>(std::strtoull(expect_digest.c_str(), nullptr, 16));
+    if (merged.digest.combined != expected) {
+      std::fprintf(stderr, "capacity_planner: digest mismatch: merged %016llx != expected %016llx\n",
+                   static_cast<unsigned long long>(merged.digest.combined),
+                   static_cast<unsigned long long>(expected));
+      return 1;
+    }
+    std::printf("  digest matches --expect-digest %s\n", expect_digest.c_str());
+  }
+  return 0;
+}
 
 void print_dimensioning(const model::AggregateParams& p) {
   const double mean = model::mean_aggregate_rate_bps(p);
@@ -61,8 +251,41 @@ void print_dimensioning(const model::AggregateParams& p) {
 int main(int argc, char** argv) {
   std::string profile_path;
   std::string trace_path;
+  std::size_t capacity = 0;
+  double capacity_seconds = 2.0;
+  std::size_t shards = 1;
+  std::size_t shard = 0;
+  std::string shard_out;
+  std::string expect_digest;
+  bool merge = false;
   while (argc > 1 && std::strncmp(argv[1], "--", 2) == 0) {
-    if (std::strcmp(argv[1], "--profile-out") == 0) {
+    if (std::strcmp(argv[1], "--capacity") == 0 && argc > 2) {
+      capacity = static_cast<std::size_t>(std::atoll(argv[2]));
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--seconds") == 0 && argc > 2) {
+      capacity_seconds = std::atof(argv[2]);
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--shards") == 0 && argc > 2) {
+      shards = static_cast<std::size_t>(std::atoll(argv[2]));
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--shard") == 0 && argc > 2) {
+      shard = static_cast<std::size_t>(std::atoll(argv[2]));
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--shard-out") == 0 && argc > 2) {
+      shard_out = argv[2];
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--expect-digest") == 0 && argc > 2) {
+      expect_digest = argv[2];
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--merge") == 0) {
+      merge = true;
+    } else if (std::strcmp(argv[1], "--profile-out") == 0) {
       // The path is optional: positional args are all numeric, so a
       // following token that doesn't start like a number is the path.
       profile_path = "BENCH_sweep_profile.json";
@@ -79,11 +302,23 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: capacity_planner [--profile-out [path]] [--trace-out path]\n"
-                   "                        [lambda_per_s] [mean_rate_mbps] [mean_duration_s]\n");
+                   "                        [lambda_per_s] [mean_rate_mbps] [mean_duration_s]\n"
+                   "       capacity_planner --capacity N [--seconds S]\n"
+                   "                        [--shards K --shard I] [--shard-out PATH]\n"
+                   "       capacity_planner --merge [--expect-digest HEX] shard.json...\n");
       return 2;
     }
     --argc;
     ++argv;
+  }
+
+  if (merge) {
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) paths.emplace_back(argv[i]);
+    return run_merge(paths, expect_digest);
+  }
+  if (capacity > 0) {
+    return run_capacity(capacity, capacity_seconds, shards, shard, shard_out);
   }
 
   model::AggregateParams p;

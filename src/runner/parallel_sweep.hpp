@@ -4,12 +4,16 @@
 // across service × container × application × vantage combos (Table 1, §2) —
 // and every session is an independent world: `run_session` builds its own
 // `Simulator`, `ObsContext`, RNG tree and TCP fabric from the config's
-// seed. `ParallelSweep` exploits exactly that: workers pull session indices
-// from a shared counter, run each world in complete isolation (no shared
-// mutable state, so no locks on any simulation path), and the results land
-// in deterministic submission order regardless of which worker finished
-// first or in what order. Merging (telemetry, metrics snapshots) stays
-// serial on the caller's thread.
+// seed. `ParallelSweep` exploits exactly that: workers claim *chunks* of
+// session indices from a shared counter (one atomic op per chunk, not per
+// index), run each world in complete isolation on a per-worker recycled
+// arena (no shared mutable state, no global-allocator contention on any
+// simulation path), and stage results in cache-line-padded per-worker
+// buffers that are spliced into deterministic submission order at the end —
+// the submission-order results vector is written by exactly one thread, so
+// no two workers ever share a cache line through it. Merging (telemetry,
+// metrics snapshots) stays serial on the caller's thread; for sweeps that
+// must not accumulate results at all, see runner/session_sweep.hpp.
 //
 // Worker count: explicit argument, else the VSTREAM_JOBS environment
 // variable, else the hardware concurrency; 1 runs inline on the caller's
@@ -20,19 +24,27 @@
 // per world, which is what keeps twin-run determinism auditable.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "runner/sweep_profiler.hpp"
+#include "sim/arena.hpp"
 #include "streaming/session.hpp"
 
 namespace vstream::runner {
 
 /// Resolve the worker count: `requested` if nonzero, else VSTREAM_JOBS,
-/// else std::thread::hardware_concurrency (at least 1).
+/// else std::thread::hardware_concurrency (at least 1). Garbage, zero or
+/// negative VSTREAM_JOBS falls through to the hardware count; absurd values
+/// clamp to kMaxJobs so a fat-fingered env var cannot fork-bomb the host.
 [[nodiscard]] std::size_t job_count(std::size_t requested = 0);
+
+/// Upper bound on the resolved worker count (env or explicit request).
+inline constexpr std::size_t kMaxJobs = 512;
 
 class ParallelSweep {
  public:
@@ -44,33 +56,64 @@ class ParallelSweep {
   /// Invoke `fn(i)` for every i in [0, count), fanned across the pool's
   /// workers. `fn` must be safe to call concurrently for distinct indices.
   /// Blocks until every index completed; the first exception thrown by any
-  /// worker is rethrown here (remaining indices still drain).
+  /// worker is rethrown here (remaining indices still drain, and further
+  /// errors are counted — see errors_dropped()).
   void for_each_index(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+  /// Chunk-granular fan-out: workers claim contiguous index ranges
+  /// [begin, end) off the shared counter and invoke `fn(begin, end, worker)`
+  /// once per range — one atomic claim and one std::function dispatch per
+  /// chunk instead of per index, with `worker` the executing pool worker for
+  /// per-worker staging. `chunk == 0` picks a size automatically (~16 claims
+  /// per worker, capped so stragglers still steal). A chunk callback that
+  /// throws abandons the rest of *that chunk only*; the sweep still drains
+  /// every other chunk and rethrows the first error at the end.
+  void for_each_chunk(std::size_t count, std::size_t chunk,
+                      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) const;
 
   /// Fan `fn(i)` out and collect the results in submission (index) order —
   /// the order is a property of the indices, never of thread scheduling.
+  /// Results are constructed in place in per-worker staging (R need not be
+  /// default-constructible, and no element is written twice) and spliced
+  /// into the output vector serially at the end.
   template <typename R, typename Fn>
   [[nodiscard]] std::vector<R> map(std::size_t count, Fn&& fn) const {
-    std::vector<R> out(count);
-    for_each_index(count, [&out, &fn](std::size_t i) { out[i] = fn(i); });
-    return out;
+    struct alignas(kResultCacheLine) Stage {
+      std::vector<std::pair<std::size_t, R>> items;
+    };
+    std::vector<Stage> stages(jobs_);
+    for_each_chunk(count, 0,
+                   [&stages, &fn](std::size_t begin, std::size_t end, std::size_t worker) {
+                     auto& items = stages[worker].items;
+                     for (std::size_t i = begin; i < end; ++i) items.emplace_back(i, fn(i));
+                   });
+    return splice_stages<R>(count, stages);
   }
 
   /// Run every session config on the pool; results in submission order.
   /// Each worker instantiates one full world (Simulator + ObsContext + RNG)
-  /// per session — shared-nothing, so the per-session results, digests and
-  /// metrics snapshots are bit-identical to a serial run.
+  /// per session on its own recycled ArenaResource — shared-nothing, so the
+  /// per-session results, digests and metrics snapshots are bit-identical
+  /// to a serial run (the arena changes memory placement, never behaviour).
+  /// A config that already carries an arena keeps it.
   [[nodiscard]] std::vector<streaming::SessionResult> run_sessions(
       const std::vector<streaming::SessionConfig>& configs) const;
 
   /// Attach a profiler (or nullptr to detach). While attached, every fn(i)
-  /// dispatched by for_each_index is timed as a kRun task on the worker
-  /// that executed it. The profiler must be sized for at least jobs()
-  /// workers and must outlive every sweep call on this pool. Profiling is
-  /// harness-side only: it never touches a session world, so results and
-  /// digests are identical with or without it.
+  /// dispatched by for_each_index — and every session run by run_sessions —
+  /// is timed as a kRun task on the worker that executed it. The profiler
+  /// must be sized for at least jobs() workers and must outlive every sweep
+  /// call on this pool. Profiling is harness-side only: it never touches a
+  /// session world, so results and digests are identical with or without it.
   void set_profiler(SweepProfiler* profiler) { profiler_ = profiler; }
   [[nodiscard]] SweepProfiler* profiler() const { return profiler_; }
+
+  /// Errors beyond the first swallowed by the previous sweep on this pool
+  /// (the first is rethrown with this count appended to its message). Reset
+  /// at the start of every sweep; zero on a clean or single-failure sweep.
+  [[nodiscard]] std::size_t errors_dropped() const {
+    return errors_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Index of the pool worker running the current thread: 0 for the
   /// caller's thread (also the serial path), 1..N-1 for spawned workers.
@@ -79,8 +122,39 @@ class ParallelSweep {
   [[nodiscard]] static std::size_t current_worker();
 
  private:
+  // Staging cells are padded to this boundary so two workers' append paths
+  // never bounce one line; 64 covers x86/ARM, 128 covers Apple M-series.
+  static constexpr std::size_t kResultCacheLine = 128;
+
+  /// Splice per-worker (index, result) staging into one submission-order
+  /// vector. Each worker's items are index-ascending by construction
+  /// (chunks are claimed off a monotone counter), so this is a k-way merge:
+  /// every element moves exactly once, serially, on the caller's thread.
+  template <typename R, typename Stages>
+  [[nodiscard]] static std::vector<R> splice_stages(std::size_t count, Stages& stages) {
+    std::vector<R> out;
+    out.reserve(count);
+    std::vector<std::size_t> cursor(stages.size(), 0);
+    for (std::size_t want = 0; want < count; ++want) {
+      for (std::size_t s = 0; s < stages.size(); ++s) {
+        auto& items = stages[s].items;
+        const std::size_t at = cursor[s];
+        if (at < items.size() && items[at].first == want) {
+          out.push_back(std::move(items[at].second));
+          ++cursor[s];
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
   std::size_t jobs_;
   SweepProfiler* profiler_{nullptr};
+  /// Dropped-error count of the most recent sweep (see errors_dropped()).
+  /// Mutable: sweeps are logically const (the pool has no sweep state), but
+  /// diagnosability of multi-failure sweeps needs this one counter.
+  mutable std::atomic<std::size_t> errors_dropped_{0};
 };
 
 }  // namespace vstream::runner

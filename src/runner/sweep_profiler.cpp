@@ -4,6 +4,7 @@
 // from ever sleeping on the clock it reads.
 #include "runner/sweep_profiler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -63,6 +64,9 @@ void SweepProfiler::record(std::size_t worker, SweepPhase phase, double seconds,
   const auto p = static_cast<std::size_t>(phase);
   cell.seconds[p] += seconds;
   cell.tasks[p] += tasks;
+  // Each record() is one timed batch (Scope always records exactly one
+  // task), so its duration is the single-task sample the tail max tracks.
+  if (seconds > cell.max_s[p]) cell.max_s[p] = seconds;
 }
 
 double SweepProfiler::now_s() const { return steady_now_s(); }
@@ -79,6 +83,18 @@ std::uint64_t SweepProfiler::WorkerStats::tasks() const {
   std::uint64_t total = 0;
   for (const std::uint64_t n : phase_tasks) total += n;
   return total;
+}
+
+double SweepProfiler::WorkerStats::max_task_s() const {
+  double worst = 0.0;
+  for (const double s : phase_max_s) worst = std::max(worst, s);
+  return worst;
+}
+
+double SweepProfiler::Summary::max_task_s() const {
+  double worst = 0.0;
+  for (const auto& w : per_worker) worst = std::max(worst, w.max_task_s());
+  return worst;
 }
 
 double SweepProfiler::Summary::busy_s() const {
@@ -119,6 +135,8 @@ std::string SweepProfiler::Summary::to_json(const std::string& name) const {
   out += ",\"utilization\":";
   append_double(out, utilization());
   out += ",\"tasks\":" + std::to_string(tasks());
+  out += ",\"max_task_s\":";
+  append_double(out, max_task_s());
   out += ",\"per_worker\":[";
   for (std::size_t w = 0; w < per_worker.size(); ++w) {
     const WorkerStats& stats = per_worker[w];
@@ -127,6 +145,8 @@ std::string SweepProfiler::Summary::to_json(const std::string& name) const {
     out += ",\"busy_s\":";
     append_double(out, stats.busy_s());
     out += ",\"tasks\":" + std::to_string(stats.tasks());
+    out += ",\"max_task_s\":";
+    append_double(out, stats.max_task_s());
     out += ",\"phases\":{";
     for (std::size_t p = 0; p < kSweepPhaseCount; ++p) {
       if (p > 0) out += ",";
@@ -134,7 +154,10 @@ std::string SweepProfiler::Summary::to_json(const std::string& name) const {
       out += to_string(static_cast<SweepPhase>(p));
       out += "\":{\"seconds\":";
       append_double(out, stats.phase_s[p]);
-      out += ",\"tasks\":" + std::to_string(stats.phase_tasks[p]) + "}";
+      out += ",\"tasks\":" + std::to_string(stats.phase_tasks[p]);
+      out += ",\"max_s\":";
+      append_double(out, stats.phase_max_s[p]);
+      out += "}";
     }
     out += "}}";
   }
@@ -151,6 +174,7 @@ SweepProfiler::Summary SweepProfiler::summary() const {
     WorkerStats stats;
     stats.phase_s = cell.seconds;
     stats.phase_tasks = cell.tasks;
+    stats.phase_max_s = cell.max_s;
     s.per_worker.push_back(stats);
   }
   return s;

@@ -77,9 +77,15 @@ class SweepProfiler {
   struct WorkerStats {
     std::array<double, kSweepPhaseCount> phase_s{};
     std::array<std::uint64_t, kSweepPhaseCount> phase_tasks{};
+    /// Longest single record() per phase — for Scope-timed work, the worst
+    /// single task. Averages hide a straggler session behind a balanced
+    /// mean; the max is what tail imbalance actually looks like.
+    std::array<double, kSweepPhaseCount> phase_max_s{};
 
     [[nodiscard]] double busy_s() const;
     [[nodiscard]] std::uint64_t tasks() const;
+    /// Worst single task across all phases (straggler visibility).
+    [[nodiscard]] double max_task_s() const;
   };
 
   struct Summary {
@@ -93,6 +99,9 @@ class SweepProfiler {
     [[nodiscard]] double idle_s() const;
     /// busy / (workers x wall), in [0, 1]. Zero when the span is empty.
     [[nodiscard]] double utilization() const;
+    /// Worst single task across every worker and phase — the sweep's
+    /// straggler bound (a pool cannot finish faster than its longest task).
+    [[nodiscard]] double max_task_s() const;
 
     /// Serialize as a JSON object (the BENCH_sweep_profile.json payload).
     [[nodiscard]] std::string to_json(const std::string& name) const;
@@ -113,6 +122,7 @@ class SweepProfiler {
   struct alignas(64) Cell {
     std::array<double, kSweepPhaseCount> seconds{};
     std::array<std::uint64_t, kSweepPhaseCount> tasks{};
+    std::array<double, kSweepPhaseCount> max_s{};
   };
 
   [[nodiscard]] double now_s() const;

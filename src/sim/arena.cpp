@@ -1,0 +1,65 @@
+#include "sim/arena.hpp"
+
+#include <algorithm>
+
+#include "check/contracts.hpp"
+
+namespace vstream::sim {
+
+namespace {
+
+constexpr bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr std::size_t align_up(std::size_t offset, std::size_t align) {
+  return (offset + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+void* ArenaResource::allocate(std::size_t bytes, std::size_t align) {
+  VSTREAM_PRECONDITION(is_power_of_two(align), "ArenaResource: alignment must be a power of two");
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers, as operator new
+  Chunk* chunk = chunks_.empty() ? &grow(bytes + align) : &chunks_.back();
+  std::size_t offset = align_up(chunk->used, align);
+  if (offset + bytes > chunk->size) {
+    chunk = &grow(bytes + align);
+    offset = align_up(chunk->used, align);
+  }
+  chunk->used = offset + bytes;
+  in_use_ += bytes;
+  high_water_ = std::max(high_water_, in_use_);
+  ++allocations_;
+  return chunk->data.get() + offset;
+}
+
+ArenaResource::Chunk& ArenaResource::grow(std::size_t min_bytes) {
+  const std::size_t last = chunks_.empty() ? initial_bytes_ / 2 : chunks_.back().size;
+  const std::size_t size = std::max(min_bytes, last * 2);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  return chunks_.back();
+}
+
+void ArenaResource::reset() {
+  ++resets_;
+  in_use_ = 0;
+  if (chunks_.empty()) return;
+  if (chunks_.size() > 1) {
+    // Consolidate: one warm chunk covering the high-water mark replaces the
+    // doubling ladder, so the next session never grows at all.
+    const std::size_t want = std::max(high_water_, chunks_.back().size);
+    chunks_.clear();
+    grow(want);
+  }
+  chunks_.back().used = 0;
+}
+
+std::size_t ArenaResource::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace vstream::sim

@@ -1,0 +1,130 @@
+// Per-world monotonic arena: the allocator behind near-linear sweep scaling.
+//
+// A million-session sweep builds and tears down a million simulator worlds,
+// and every world used to buy its event-queue vector, slot deque and free
+// list from the global allocator — which is exactly the kind of
+// cross-thread malloc/free churn that serializes a shared-nothing pool on
+// the allocator's central locks. `ArenaResource` is the fix: a chunked
+// monotonic arena a sweep worker owns outright. Allocation is a pointer
+// bump, deallocation is a no-op, and `reset()` recycles the arena between
+// sessions without returning memory to the OS, so a worker's steady state
+// is one warm chunk sized to its largest world — zero global-allocator
+// traffic on the session hot path.
+//
+// The arena is strictly single-threaded by design (one worker, one arena,
+// one world at a time); `runner::ParallelSweep` gives each worker its own
+// cache-line-padded instance. Placement only: the arena never observes or
+// alters simulation logic, so arena-backed and heap-backed twin runs
+// produce identical digests (tests/simulator_pool_test.cpp pins this).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace vstream::sim {
+
+class ArenaResource {
+ public:
+  /// `initial_bytes` sizes the first chunk, lazily allocated on first use.
+  explicit ArenaResource(std::size_t initial_bytes = kDefaultChunkBytes)
+      : initial_bytes_{initial_bytes > 0 ? initial_bytes : kDefaultChunkBytes} {}
+
+  ArenaResource(const ArenaResource&) = delete;
+  ArenaResource& operator=(const ArenaResource&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two). Grows by
+  /// doubling chunks when the current chunk is exhausted; a request larger
+  /// than the next chunk gets a dedicated chunk of its own.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Monotonic: individual frees are a no-op. Containers call this through
+  /// ArenaAlloc; the memory comes back in one piece at reset().
+  void deallocate(void* /*p*/, std::size_t /*bytes*/) noexcept {}
+
+  /// Recycle for the next session: every chunk is retired except one warm
+  /// chunk at least as large as the previous high-water mark, so a steady
+  /// sweep re-uses the same memory world after world.
+  void reset();
+
+  /// Bytes handed out since the last reset().
+  [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
+  /// Largest bytes_in_use() ever observed (across resets).
+  [[nodiscard]] std::size_t high_water_bytes() const { return high_water_; }
+  /// Bytes currently owned by the arena's chunks (capacity, not use).
+  [[nodiscard]] std::size_t capacity_bytes() const;
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  /// Lifetime counters: pointer-bump allocations served and resets taken.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+    std::size_t used{0};
+  };
+
+  /// Append a chunk of at least `min_bytes`, doubling the last chunk size.
+  Chunk& grow(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t initial_bytes_;
+  std::size_t in_use_{0};
+  std::size_t high_water_{0};
+  std::uint64_t allocations_{0};
+  std::uint64_t resets_{0};
+};
+
+/// Minimal std::allocator adaptor over an ArenaResource. A null arena falls
+/// back to the global allocator, so one container type serves both the
+/// arena-backed sweep path and plain standalone construction.
+template <typename T>
+class ArenaAlloc {
+ public:
+  using value_type = T;
+  // The arena pointer must travel with container moves/copies/swaps —
+  // otherwise a moved-into container would free arena memory globally.
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAlloc() noexcept = default;
+  explicit ArenaAlloc(ArenaResource* arena) noexcept : arena_{arena} {}
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>& other) noexcept : arena_{other.arena()} {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return std::allocator<T>{}.allocate(n);
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (arena_ != nullptr) {
+      arena_->deallocate(p, n * sizeof(T));
+      return;
+    }
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  [[nodiscard]] ArenaResource* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAlloc& a, const ArenaAlloc& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAlloc& a, const ArenaAlloc& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  template <typename U>
+  friend class ArenaAlloc;
+
+  ArenaResource* arena_{nullptr};
+};
+
+}  // namespace vstream::sim

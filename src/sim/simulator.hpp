@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 
@@ -61,6 +62,16 @@ class Simulator {
   using Handle = EventHandle;
 
   Simulator() = default;
+  /// Back the event-queue vector, slot deque and free list with `arena`
+  /// (null = global allocator, identical behaviour). The arena is
+  /// non-owning and must outlive the simulator; sweep workers pass their
+  /// own recycled per-worker arena so world construction and queue growth
+  /// never touch the global allocator (see sim/arena.hpp). Placement only:
+  /// event order, digests and results are independent of the choice.
+  explicit Simulator(ArenaResource* arena)
+      : queue_{Later{}, KeyVector{ArenaAlloc<QueueKey>{arena}}},
+        slots_{ArenaAlloc<Slot>{arena}},
+        free_slots_{ArenaAlloc<std::uint32_t>{arena}} {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -184,12 +195,18 @@ class Simulator {
   /// Push the queue key for an acquired+filled slot and hand back its token.
   EventHandle commit_schedule(SimTime at, std::uint32_t slot);
 
-  std::priority_queue<QueueKey, std::vector<QueueKey>, Later> queue_;
-  /// Deque, not vector: growing the arena must never move existing slots,
-  /// because the firing callback executes in place in its slot (step()) and
-  /// may itself schedule new events that extend the arena.
-  std::deque<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;  // LIFO: hot slots stay cache-warm
+  /// Container aliases parameterized on the optional per-world arena: the
+  /// queue's backing vector, the slot deque's blocks and the free list all
+  /// draw from it, which removes every global-allocator touch from world
+  /// construction and event-queue growth on the sweep hot path.
+  using KeyVector = std::vector<QueueKey, ArenaAlloc<QueueKey>>;
+
+  std::priority_queue<QueueKey, KeyVector, Later> queue_;
+  /// Deque, not vector: growing the slot pool must never move existing
+  /// slots, because the firing callback executes in place in its slot
+  /// (step()) and may itself schedule new events that extend the pool.
+  std::deque<Slot, ArenaAlloc<Slot>> slots_;
+  std::vector<std::uint32_t, ArenaAlloc<std::uint32_t>> free_slots_;  // LIFO: hot slots stay cache-warm
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
   std::uint64_t events_processed_{0};

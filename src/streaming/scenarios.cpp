@@ -174,6 +174,20 @@ std::vector<NamedScenario> fault_scenarios(double capture_duration_s) {
   return out;
 }
 
+void fold_outcome(check::StateDigest& digest, const SessionResult& result) {
+  digest.mix(result.bytes_downloaded);
+  digest.mix(result.sim_events);
+  digest.mix(static_cast<std::uint64_t>(result.connections));
+  digest.mix(result.player.downloaded_bytes);
+  digest.mix(result.player.consumed_bytes);
+  // Recovery dynamics are part of the outcome under fault injection: two
+  // runs that downloaded the same bytes via different retry/rebuffer paths
+  // must not fingerprint equal.
+  digest.mix(static_cast<std::uint64_t>(result.resilience.fetch_retries));
+  digest.mix(static_cast<std::uint64_t>(result.resilience.rebuffer_count));
+  digest.mix(result.resilience.fault_drops);
+}
+
 RunFingerprint fingerprint_session(const SessionConfig& config, obs::TraceSink* sink) {
   check::StateDigest digest;
   SessionConfig cfg = config;
@@ -186,17 +200,7 @@ RunFingerprint fingerprint_session(const SessionConfig& config, obs::TraceSink* 
   fp.bytes_downloaded = result.bytes_downloaded;
   // Fold the headline outcome in after the run, so a divergence that the
   // event-order stream somehow missed still flips the fingerprint.
-  digest.mix(result.bytes_downloaded);
-  digest.mix(result.sim_events);
-  digest.mix(static_cast<std::uint64_t>(result.connections));
-  digest.mix(result.player.downloaded_bytes);
-  digest.mix(result.player.consumed_bytes);
-  // Recovery dynamics are part of the outcome under fault injection: two
-  // runs that downloaded the same bytes via different retry/rebuffer paths
-  // must not fingerprint equal.
-  digest.mix(static_cast<std::uint64_t>(result.resilience.fetch_retries));
-  digest.mix(static_cast<std::uint64_t>(result.resilience.rebuffer_count));
-  digest.mix(result.resilience.fault_drops);
+  fold_outcome(digest, result);
   fp.digest = digest.value();
   fp.words_mixed = digest.words_mixed();
   return fp;

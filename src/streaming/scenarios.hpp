@@ -51,6 +51,13 @@ struct RunFingerprint {
   friend bool operator==(const RunFingerprint&, const RunFingerprint&) = default;
 };
 
+/// Fold a session's headline outcome (bytes, events, connections, player
+/// progress, recovery dynamics) into `digest`, after the run. This is the
+/// result half of fingerprint_session, shared with the streamed-sweep
+/// digest (runner/session_sweep.hpp) so both fingerprint a session the same
+/// way: a divergence the event-order stream somehow missed still flips it.
+void fold_outcome(check::StateDigest& digest, const SessionResult& result);
+
 /// Run one scenario with a digest attached and fingerprint the result.
 /// `sink`, when given, is attached to the run's trace bus — which arms the
 /// span layer and every probe. Tracing is digest-neutral by contract, so a

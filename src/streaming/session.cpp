@@ -78,7 +78,8 @@ net::NetworkProfile jittered(const SessionConfig& cfg, sim::Rng& rng) {
 
 struct World {
   explicit World(const SessionConfig& cfg)
-      : rng{cfg.seed},
+      : sim{cfg.arena},
+        rng{cfg.seed},
         obs_wired{(sim.set_obs(&obs), true)},
         path{net::PathBuilder{sim, jittered(cfg, rng), rng}
                  .impairments(cfg.impairments)

@@ -26,6 +26,10 @@ namespace vstream::check {
 class StateDigest;
 }
 
+namespace vstream::sim {
+class ArenaResource;
+}
+
 namespace vstream::obs {
 class TraceSink;
 }
@@ -83,6 +87,13 @@ struct SessionConfig {
   /// event dispatch order and TCP state snapshots fold into it, so two runs
   /// with identical config must leave identical digests. Non-owning.
   check::StateDigest* digest{nullptr};
+  /// Optional per-world allocator backing the simulator's event queue, slot
+  /// pool and free list (sim/arena.hpp). Sweep workers pass their own
+  /// recycled arena so million-session runs never contend on the global
+  /// allocator; null runs on the global allocator, bit-identically.
+  /// Non-owning; must outlive run_session, and — being single-threaded —
+  /// must never be shared by two concurrently running sessions.
+  sim::ArenaResource* arena{nullptr};
   /// Keep the auxiliary-host traffic in `SessionResult::trace`. By default
   /// the result holds only the video-CDN packets (the paper's §2 filter,
   /// applied in place) — one owned trace instead of the seed's two.

@@ -89,6 +89,12 @@ class SessionBuilder {
     cfg_.digest = d;
     return *this;
   }
+  /// Per-world allocator for the simulator's event machinery (non-owning;
+  /// single-threaded — never share between concurrent sessions).
+  SessionBuilder& arena(sim::ArenaResource* a) {
+    cfg_.arena = a;
+    return *this;
+  }
   SessionBuilder& keep_full_trace(bool on = true) {
     cfg_.keep_full_trace = on;
     return *this;

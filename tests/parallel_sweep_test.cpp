@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -62,6 +64,25 @@ TEST(ParallelSweepTest, JobCountReadsEnvironment) {
   EXPECT_GE(job_count(0), 1u);
 }
 
+TEST(ParallelSweepTest, JobCountRejectsZeroNegativeAndClampsHuge) {
+  ::unsetenv("VSTREAM_JOBS");
+  const std::size_t hardware = job_count(0);  // env unset: the hardware fallback
+
+  ::setenv("VSTREAM_JOBS", "0", 1);
+  EXPECT_EQ(job_count(0), hardware);  // zero is not a worker count
+  ::setenv("VSTREAM_JOBS", "-4", 1);
+  EXPECT_EQ(job_count(0), hardware);  // negative falls through too
+  ::setenv("VSTREAM_JOBS", "12abc", 1);
+  EXPECT_EQ(job_count(0), 12u);  // strtoll semantics: leading digits parse
+  ::setenv("VSTREAM_JOBS", "100000", 1);
+  EXPECT_EQ(job_count(0), kMaxJobs);  // absurd values cannot fork-bomb the host
+  ::setenv("VSTREAM_JOBS", "99999999999999999999999999", 1);
+  EXPECT_EQ(job_count(0), kMaxJobs);  // strtoll saturation clamps, not wraps
+  ::unsetenv("VSTREAM_JOBS");
+
+  EXPECT_EQ(job_count(100000), kMaxJobs);  // explicit requests clamp the same way
+}
+
 TEST(ParallelSweepTest, MapReturnsSubmissionOrder) {
   const ParallelSweep pool{4};
   const auto squares =
@@ -89,6 +110,120 @@ TEST(ParallelSweepTest, WorkerExceptionPropagatesAfterDraining) {
                std::runtime_error);
   // Remaining indices still drained: everything but the thrower ran.
   EXPECT_EQ(completed.load(), 49u);
+}
+
+TEST(ParallelSweepTest, FirstErrorRethrowsOriginalTypeWhenAlone) {
+  struct SweepTestError : std::logic_error {
+    using std::logic_error::logic_error;
+  };
+  const ParallelSweep pool{4};
+  // Exactly one failure: the original exception object must come back
+  // untouched — type intact, message intact, no drop suffix.
+  try {
+    pool.for_each_index(40, [](std::size_t i) {
+      if (i == 11) throw SweepTestError{"original"};
+    });
+    FAIL() << "expected SweepTestError";
+  } catch (const SweepTestError& e) {
+    EXPECT_STREQ(e.what(), "original");
+  }
+  EXPECT_EQ(pool.errors_dropped(), 0u);
+}
+
+TEST(ParallelSweepTest, MultipleErrorsCountDropsAndAnnotateMessage) {
+  const ParallelSweep pool{4};
+  std::atomic<std::size_t> completed{0};
+  try {
+    pool.for_each_index(60, [&completed](std::size_t i) {
+      if (i % 10 == 3) throw std::runtime_error{"fail@" + std::to_string(i)};
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    // 6 throwers: one rethrown, 5 dropped — and the rethrown message says so.
+    EXPECT_NE(std::string{e.what()}.find("(sweep dropped 5 further worker error(s))"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(pool.errors_dropped(), 5u);
+  EXPECT_EQ(completed.load(), 54u);  // every non-throwing index still ran
+
+  // The counter is per-sweep state: a clean sweep resets it.
+  pool.for_each_index(8, [](std::size_t) {});
+  EXPECT_EQ(pool.errors_dropped(), 0u);
+}
+
+TEST(ParallelSweepTest, WorkerIndexResetsAfterSweep) {
+  const ParallelSweep pool{4};
+  std::atomic<bool> saw_nonzero{false};
+  std::atomic<std::size_t> arrived{0};
+  pool.for_each_index(64, [&saw_nonzero, &arrived](std::size_t) {
+    arrived.fetch_add(1);
+    // Rendezvous: the caller (worker 0) holds its task open until a spawned
+    // worker has entered the sweep — on a loaded single-core host the caller
+    // can otherwise drain all 64 trivial tasks before the spawned threads
+    // are ever scheduled. Bounded so a pathological scheduler fails the
+    // assertion instead of hanging the suite.
+    for (int spin = 0;
+         ParallelSweep::current_worker() == 0 && arrived.load() < 2 && spin < 4'000'000; ++spin) {
+      std::this_thread::yield();
+    }
+    if (ParallelSweep::current_worker() != 0) saw_nonzero.store(true);
+  });
+  EXPECT_TRUE(saw_nonzero.load());  // spawned workers really did attribute as 1..N-1
+  // After the sweep the caller's thread is plain worker 0 again.
+  EXPECT_EQ(ParallelSweep::current_worker(), 0u);
+}
+
+TEST(ParallelSweepTest, ForEachChunkCoversRangeOnceWithValidWorkers) {
+  const ParallelSweep pool{4};
+  static constexpr std::size_t kCount = 333;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<std::size_t> chunks{0};
+  pool.for_each_chunk(kCount, 10,
+                      [&hits, &chunks, &pool](std::size_t begin, std::size_t end,
+                                              std::size_t worker) {
+                        EXPECT_LT(worker, pool.jobs());
+                        EXPECT_LT(begin, end);
+                        EXPECT_LE(end, kCount);
+                        EXPECT_LE(end - begin, 10u);  // explicit chunk size respected
+                        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+                        chunks.fetch_add(1);
+                      });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  EXPECT_EQ(chunks.load(), (kCount + 9) / 10);
+}
+
+TEST(ParallelSweepTest, ThrowingChunkAbandonsOnlyItsOwnTail) {
+  const ParallelSweep pool{1};  // serial: chunk claim order is deterministic
+  std::vector<int> hits(30, 0);
+  EXPECT_THROW(pool.for_each_chunk(30, 10,
+                                   [&hits](std::size_t begin, std::size_t end, std::size_t) {
+                                     for (std::size_t i = begin; i < end; ++i) {
+                                       if (i == 14) throw std::runtime_error{"mid-chunk"};
+                                       hits[i] += 1;
+                                     }
+                                   }),
+               std::runtime_error);
+  // Chunk [10,20) died at 14: its tail is abandoned, every other chunk ran.
+  for (std::size_t i = 0; i < 30; ++i) {
+    const bool abandoned = i >= 14 && i < 20;
+    EXPECT_EQ(hits[i], abandoned ? 0 : 1) << "index " << i;
+  }
+}
+
+TEST(ParallelSweepTest, MapSupportsNonDefaultConstructibleResults) {
+  struct Opaque {
+    explicit Opaque(std::size_t v) : value{v} {}
+    Opaque(Opaque&&) = default;
+    Opaque& operator=(Opaque&&) = default;
+    std::size_t value;
+  };
+  static_assert(!std::is_default_constructible_v<Opaque>);
+  const ParallelSweep pool{4};
+  const auto out = pool.map<Opaque>(97, [](std::size_t i) { return Opaque{i * 3}; });
+  ASSERT_EQ(out.size(), 97u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].value, i * 3);
 }
 
 TEST(ParallelSweepTest, SessionResultsIdenticalAcrossWorkerCounts) {
@@ -190,13 +325,35 @@ TEST(SweepProfilerTest, SummaryJsonCarriesPerWorkerPhaseBreakdown) {
   s.per_worker[0].phase_s[static_cast<std::size_t>(SweepPhase::kBuild)] = 0.5;
   s.per_worker[0].phase_tasks[static_cast<std::size_t>(SweepPhase::kBuild)] = 1;
 
+  s.per_worker[0].phase_max_s[static_cast<std::size_t>(SweepPhase::kBuild)] = 0.5;
+
   const std::string json = s.to_json("unit");
   EXPECT_NE(json.find("\"name\":\"unit\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"workers\":1"), std::string::npos);
   EXPECT_NE(json.find("\"wall_s\":2.000000"), std::string::npos);
   EXPECT_NE(json.find("\"utilization\":0.250000"), std::string::npos);
-  EXPECT_NE(json.find("\"build\":{\"seconds\":0.500000,\"tasks\":1}"), std::string::npos);
-  EXPECT_NE(json.find("\"run\":{\"seconds\":0.000000,\"tasks\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"build\":{\"seconds\":0.500000,\"tasks\":1,\"max_s\":0.500000}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"run\":{\"seconds\":0.000000,\"tasks\":0,\"max_s\":0.000000}"),
+            std::string::npos);
+  // The straggler bound surfaces at both levels: per worker and sweep-wide.
+  EXPECT_NE(json.find("\"max_task_s\":0.500000"), std::string::npos) << json;
+}
+
+TEST(SweepProfilerTest, MaxTaskTracksWorstSingleRecord) {
+  SweepProfiler profiler{2};
+  profiler.record(0, SweepPhase::kRun, 0.25);
+  profiler.record(0, SweepPhase::kRun, 1.5);  // the straggler
+  profiler.record(0, SweepPhase::kRun, 0.5);
+  profiler.record(1, SweepPhase::kAnalyze, 0.75);
+
+  const auto s = profiler.summary();
+  EXPECT_DOUBLE_EQ(s.per_worker[0].phase_max_s[static_cast<std::size_t>(SweepPhase::kRun)], 1.5);
+  EXPECT_DOUBLE_EQ(s.per_worker[0].max_task_s(), 1.5);
+  EXPECT_DOUBLE_EQ(s.per_worker[1].max_task_s(), 0.75);
+  // Sweep-wide: the worst single task anywhere, not a sum.
+  EXPECT_DOUBLE_EQ(s.max_task_s(), 1.5);
 }
 
 TEST(SweepProfilerTest, PoolAttributesRunTasksToWorkers) {

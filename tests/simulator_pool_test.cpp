@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -281,6 +282,129 @@ TEST(SimCallbackTest, HeapFallbackCounterCountsOversizedClosures) {
   sim.run();
   EXPECT_EQ(fires, 2);
   EXPECT_EQ(sim.heap_fallback_schedules(), 2u);
+}
+
+// ---- per-world allocator (sim/arena.hpp) ---------------------------------
+
+TEST(ArenaResourceTest, BumpAllocatesAlignedAndCountsUse) {
+  ArenaResource arena{1024};
+  EXPECT_EQ(arena.chunk_count(), 0u);  // first chunk is lazy
+
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  // bytes_in_use counts requested bytes; alignment padding is capacity-only.
+  EXPECT_EQ(arena.bytes_in_use(), 20u);
+  EXPECT_EQ(arena.allocations(), 2u);
+
+  // Zero-byte requests still return distinct, valid pointers.
+  void* z1 = arena.allocate(0, 1);
+  void* z2 = arena.allocate(0, 1);
+  EXPECT_NE(z1, z2);
+}
+
+TEST(ArenaResourceTest, GrowsByDoublingAndOversizeGetsOwnChunk) {
+  ArenaResource arena{256};
+  (void)arena.allocate(200, 8);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  (void)arena.allocate(200, 8);  // exhausts the 256-byte chunk → grow
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  EXPECT_GE(arena.capacity_bytes(), 256u + 512u);
+
+  // A request bigger than any doubling step gets a dedicated chunk.
+  (void)arena.allocate(1 << 20, 8);
+  EXPECT_GE(arena.capacity_bytes(), (1u << 20));
+  EXPECT_EQ(arena.bytes_in_use(), 200u + 200u + (1u << 20));
+}
+
+TEST(ArenaResourceTest, ResetConsolidatesToOneWarmChunkAtHighWater) {
+  ArenaResource arena{256};
+  (void)arena.allocate(200, 8);
+  (void)arena.allocate(300, 8);
+  (void)arena.allocate(400, 8);
+  const std::size_t high = arena.bytes_in_use();
+  EXPECT_GE(arena.chunk_count(), 2u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.high_water_bytes(), high);
+  EXPECT_EQ(arena.resets(), 1u);
+  // Steady state: one warm chunk large enough for the whole previous world.
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.capacity_bytes(), high);
+
+  // The next world of the same shape fits without growing again.
+  (void)arena.allocate(200, 8);
+  (void)arena.allocate(300, 8);
+  (void)arena.allocate(400, 8);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.resets(), 2u);
+}
+
+TEST(ArenaAllocTest, NullArenaFallsBackToGlobalAllocator) {
+  std::vector<int, ArenaAlloc<int>> v;  // default allocator: null arena
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[99], 99);
+  EXPECT_EQ(ArenaAlloc<int>{}.arena(), nullptr);
+}
+
+TEST(ArenaAllocTest, ArenaBackedContainerDrawsFromArena) {
+  ArenaResource arena;
+  {
+    std::vector<int, ArenaAlloc<int>> v{ArenaAlloc<int>{&arena}};
+    for (int i = 0; i < 1000; ++i) v.push_back(i);
+    EXPECT_EQ(v[999], 999);
+    EXPECT_GE(arena.bytes_in_use(), 1000u * sizeof(int));
+    EXPECT_GT(arena.allocations(), 0u);
+  }
+  // Destruction deallocates nothing (monotonic): only reset reclaims.
+  EXPECT_GT(arena.bytes_in_use(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+TEST(ArenaAllocTest, EqualityFollowsTheArenaPointer) {
+  ArenaResource a;
+  ArenaResource b;
+  EXPECT_TRUE((ArenaAlloc<int>{&a} == ArenaAlloc<int>{&a}));
+  EXPECT_TRUE((ArenaAlloc<int>{&a} != ArenaAlloc<int>{&b}));
+  EXPECT_TRUE((ArenaAlloc<int>{} == ArenaAlloc<int>{}));
+  // Rebinding keeps the arena: vector<int> alloc ↔ node alloc agree.
+  const ArenaAlloc<long> rebound{ArenaAlloc<int>{&a}};
+  EXPECT_EQ(rebound.arena(), &a);
+}
+
+TEST(ArenaResourceTest, SimulatorRunsIdenticallyArenaAndHeapBacked) {
+  // Placement only: an arena-backed world must behave bit-identically to a
+  // heap-backed one — same dispatch order, same counts, same clock.
+  const auto drive = [](Simulator& sim) {
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i) {
+      sim.schedule_after(Duration::millis(1 + (i * 7) % 13), [&order, i] { order.push_back(i); });
+    }
+    sim.schedule_after(Duration::millis(5), [&sim] {
+      for (int j = 0; j < 16; ++j) sim.schedule_after(Duration::millis(j + 1), [] {});
+    });
+    sim.run();
+    return order;
+  };
+
+  Simulator heap_backed;
+  ArenaResource arena;
+  Simulator arena_backed{&arena};
+  const auto heap_order = drive(heap_backed);
+  const auto arena_order = drive(arena_backed);
+  EXPECT_EQ(arena_order, heap_order);
+  EXPECT_EQ(arena_backed.events_processed(), heap_backed.events_processed());
+  EXPECT_DOUBLE_EQ(arena_backed.now().to_seconds(), heap_backed.now().to_seconds());
+  EXPECT_GT(arena.bytes_in_use(), 0u);  // the world really did draw on the arena
 }
 
 TEST(EventArenaTest, CancelKeepsClockUntouched) {

@@ -19,6 +19,9 @@
 //   ./build/tools/determinism_audit --jobs 4       # serial vs ParallelSweep:
 //                                                  # per-session digests must
 //                                                  # match bit-for-bit
+//   ./build/tools/determinism_audit --shards 3     # streamed sweep digest:
+//                                                  # serial == parallel ==
+//                                                  # sharded merge, bit-equal
 //
 // Exit status: 0 when every twin run agrees (and the canary diverges as
 // designed); 1 on any divergence (or a canary the audit failed to catch).
@@ -30,6 +33,7 @@
 
 #include "obs/trace.hpp"
 #include "runner/parallel_sweep.hpp"
+#include "runner/session_sweep.hpp"
 #include "sim/determinism_canary.hpp"
 #include "streaming/scenarios.hpp"
 
@@ -103,12 +107,54 @@ int run_parallel_audit(double seconds, std::size_t jobs) {
   return divergent == 0 ? 0 : 1;
 }
 
+/// Sharded-sweep audit: the same catalog run through the streamed sweep
+/// (runner/session_sweep.hpp) three ways — serial, parallel, and split into
+/// `shards` contiguous slices merged back together. The order-independent
+/// sweep digest must be bit-identical across all three: that equality is
+/// what lets the capacity planner fan a million sessions across processes
+/// and still prove the merged run is the run it claims to be.
+int run_shard_audit(double seconds, std::size_t shards) {
+  const auto scenarios = audited_catalog(seconds);
+  const std::size_t n = scenarios.size();
+  const auto make = [&scenarios](std::size_t g) { return scenarios[g].config; };
+
+  const auto serial = vstream::runner::run_sessions_streamed(
+      vstream::runner::ParallelSweep{1}, 0, n, make);
+  const auto parallel = vstream::runner::run_sessions_streamed(
+      vstream::runner::ParallelSweep{4}, 0, n, make);
+  vstream::runner::SweepAccumulator merged;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t first = n * s / shards;
+    const std::size_t count = n * (s + 1) / shards - first;
+    merged.merge(vstream::runner::run_sessions_streamed(
+        vstream::runner::ParallelSweep{2}, first, count, make));
+  }
+
+  std::printf("serial   digest %016llx over %llu sessions\n",
+              static_cast<unsigned long long>(serial.digest.combined),
+              static_cast<unsigned long long>(serial.digest.sessions));
+  std::printf("parallel digest %016llx over %llu sessions\n",
+              static_cast<unsigned long long>(parallel.digest.combined),
+              static_cast<unsigned long long>(parallel.digest.sessions));
+  std::printf("sharded  digest %016llx over %llu sessions (%zu shards)\n",
+              static_cast<unsigned long long>(merged.digest.combined),
+              static_cast<unsigned long long>(merged.digest.sessions), shards);
+  const bool ok = serial.digest == parallel.digest && serial.digest == merged.digest &&
+                  serial.sessions == merged.sessions &&
+                  serial.bytes_downloaded == merged.bytes_downloaded &&
+                  serial.sim_events == merged.sim_events;
+  std::printf("%zu scenarios: serial == parallel == sharded merge: %s\n", n,
+              ok ? "ok" : "DIVERGED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double seconds = 180.0;
   bool canary = false;
   std::size_t jobs = 0;
+  std::size_t shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--canary") == 0) {
       canary = true;
@@ -116,12 +162,16 @@ int main(int argc, char** argv) {
       seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: determinism_audit [--seconds N] [--canary] [--jobs N]\n");
+      std::fprintf(stderr,
+                   "usage: determinism_audit [--seconds N] [--canary] [--jobs N] [--shards N]\n");
       return 2;
     }
   }
   if (canary) return run_canary();
+  if (shards > 0) return run_shard_audit(seconds, shards);
   if (jobs > 0) return run_parallel_audit(seconds, jobs);
 
   const auto scenarios = audited_catalog(seconds);
