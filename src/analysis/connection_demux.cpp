@@ -1,0 +1,312 @@
+#include "analysis/connection_demux.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "analysis/streaming_report.hpp"
+#include "capture/pcap_wire.hpp"
+#include "check/contracts.hpp"
+#include "net/segment.hpp"
+
+namespace vstream::analysis {
+namespace {
+
+void append_number(std::ostringstream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out << buf;
+}
+
+template <typename T>
+void append_optional_json(std::ostringstream& out, const std::optional<T>& v) {
+  if (v.has_value()) {
+    append_number(out, static_cast<double>(*v));
+  } else {
+    out << "null";
+  }
+}
+
+void append_csv_number(std::ostringstream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out << buf;
+}
+
+template <typename T>
+void append_csv_optional(std::ostringstream& out, const std::optional<T>& v) {
+  if (v.has_value()) append_csv_number(out, static_cast<double>(*v));
+}
+
+/// Everything one lane tracks for one connection while its records stream
+/// through: unwrap state, the single-pass report builder, and the envelope
+/// facts the builder does not expose (host tag, packet count, time span).
+struct LaneConnection {
+  explicit LaneConnection(const ReportOptions& options) : builder{options} {}
+
+  capture::ConnectionUnwrap unwrap;
+  StreamingReportBuilder builder;
+  std::uint8_t host{0};
+  std::size_t packets{0};
+  double first_s{0.0};
+  double last_s{0.0};
+};
+
+[[nodiscard]] ConnectionLabel finish_connection(std::uint64_t id, LaneConnection& state) {
+  state.builder.set_duration_s(state.last_s - state.first_s);
+  const SessionReport report = state.builder.finish();
+
+  ConnectionLabel label;
+  label.connection_id = id;
+  label.host = state.host;
+  label.packets = state.packets;
+  label.first_packet_s = state.first_s;
+  label.last_packet_s = state.last_s;
+  label.down_payload_mb = report.total_mb;
+  label.strategy = report.strategy;
+  label.has_steady_state = report.has_steady_state;
+  label.median_block_kb = report.median_block_kb;
+  label.median_off_s = report.median_off_s;
+  label.cycle_period_s = report.cycle_period_s;
+  label.steady_rate_mbps = report.steady_rate_mbps;
+  label.rtt_ms = report.rtt_ms;
+  label.median_first_rtt_kb = report.median_first_rtt_kb;
+  // Ack-clock presence (§4.2): when the first-RTT burst covers less than
+  // half a block, the remainder is paced by the receiver's ack clock; when
+  // it covers the block, the server dumps each block into one window.
+  if (report.median_first_rtt_kb.has_value() && report.median_block_kb > 0.0) {
+    label.ack_clocked = *report.median_first_rtt_kb < 0.5 * report.median_block_kb;
+  }
+  label.retransmission_pct = report.retransmission_pct;
+  label.zero_window_episodes = report.zero_window_episodes;
+  return label;
+}
+
+}  // namespace
+
+CapturePartition partition_capture(const capture::MmapPcapReader& reader, std::size_t lanes) {
+  VSTREAM_PRECONDITION(lanes >= 1, "partition_capture needs at least one lane");
+  CapturePartition partition;
+  partition.lane_offsets.resize(lanes);
+  // Size the buckets for an even spread of headers-only records — saves the
+  // geometric-growth copying (~2x the final bytes) on gigabyte captures; a
+  // skewed or fatter capture just falls back to normal growth.
+  const std::uint64_t estimated_records =
+      reader.file_bytes() / (capture::wire::kRecordHeaderBytes + capture::wire::kHeadersBytes);
+  for (auto& lane : partition.lane_offsets) {
+    lane.reserve(static_cast<std::size_t>(estimated_records / lanes + 16));
+  }
+  capture::PartitionProbe probe;
+  reader.for_each([&](const capture::PcapRecordView& view) {
+    ++partition.records;
+    if (!capture::probe_frame(view, probe)) {
+      ++partition.frames_skipped;
+      return;
+    }
+    (probe.down ? partition.down_payload_bytes : partition.up_payload_bytes) +=
+        probe.payload_bytes;
+    partition.lane_offsets[probe.connection_id % lanes].push_back(view.offset);
+  });
+  return partition;
+}
+
+std::vector<ConnectionLabel> classify_lane(const capture::MmapPcapReader& reader,
+                                           const CapturePartition& partition, std::size_t lane,
+                                           const ClassifyOptions& options) {
+  VSTREAM_PRECONDITION(lane < partition.lane_offsets.size(), "lane out of range");
+  const bool flip = options.auto_flip && partition.flipped();
+
+  // std::map keeps connections in ascending-id order, which is both the
+  // output order and what makes the merge a splice instead of a sort.
+  std::map<std::uint64_t, LaneConnection> connections;
+  capture::WirePacket w;
+  for (const std::uint64_t offset : partition.lane_offsets[lane]) {
+    const capture::PcapRecordView view = reader.record_at(offset);
+    if (!capture::parse_frame(view, w)) continue;  // partition already vetted these
+
+    auto [it, inserted] =
+        connections.try_emplace(w.record.connection_id, options.report);
+    LaneConnection& state = it->second;
+
+    // Unwrap against the connection's own per-direction streams — exactly
+    // what the serial reader's SeqUnwrapMap does, keyed the same way, so
+    // the 64-bit sequence numbers match the serial path bit-for-bit.
+    w.record.seq = state.unwrap.unwrap(w.dir_index, w.wire_seq);
+    w.record.ack = state.unwrap.unwrap(1 - w.dir_index, w.wire_ack);
+    if (flip) w.record.direction = net::opposite(w.record.direction);
+
+    if (inserted) {
+      state.host = w.record.host;
+      state.first_s = w.record.t_s;
+    }
+    state.last_s = w.record.t_s;
+    ++state.packets;
+    state.builder.add(w.record);
+  }
+
+  std::vector<ConnectionLabel> rows;
+  rows.reserve(connections.size());
+  for (auto& [id, state] : connections) rows.push_back(finish_connection(id, state));
+  return rows;
+}
+
+CaptureClassification merge_lanes(const CapturePartition& partition,
+                                  std::vector<std::vector<ConnectionLabel>> lanes,
+                                  const ClassifyOptions& options) {
+  CaptureClassification merged;
+  merged.records = partition.records;
+  merged.direction_flipped = options.auto_flip && partition.flipped();
+  const std::uint64_t down_bytes =
+      merged.direction_flipped ? partition.up_payload_bytes : partition.down_payload_bytes;
+  merged.down_payload_mb = static_cast<double>(down_bytes) / 1048576.0;
+
+  std::size_t total_rows = 0;
+  for (const auto& lane : lanes) total_rows += lane.size();
+  merged.connections.reserve(total_rows);
+  for (auto& lane : lanes) {
+    for (auto& row : lane) merged.connections.push_back(std::move(row));
+  }
+  // Each connection lives in exactly one lane, so ids are unique and the
+  // sort is a deterministic splice regardless of lane count or order.
+  std::sort(merged.connections.begin(), merged.connections.end(),
+            [](const ConnectionLabel& a, const ConnectionLabel& b) {
+              return a.connection_id < b.connection_id;
+            });
+
+  bool any = false;
+  double first_s = 0.0;
+  double last_s = 0.0;
+  for (const auto& row : merged.connections) {
+    merged.packets += row.packets;
+    if (!any || row.first_packet_s < first_s) first_s = row.first_packet_s;
+    if (!any || row.last_packet_s > last_s) last_s = row.last_packet_s;
+    any = true;
+  }
+  merged.duration_s = any ? last_s - first_s : 0.0;
+  return merged;
+}
+
+CaptureClassification classify_capture_serial(const capture::MmapPcapReader& reader,
+                                              const ClassifyOptions& options) {
+  const CapturePartition partition = partition_capture(reader, 1);
+  std::vector<std::vector<ConnectionLabel>> lanes;
+  lanes.push_back(classify_lane(reader, partition, 0, options));
+  return merge_lanes(partition, std::move(lanes), options);
+}
+
+std::string CaptureClassification::to_json() const {
+  std::ostringstream out;
+  out << "{\"records\":" << records;
+  out << ",\"packets\":" << packets;
+  out << ",\"duration_s\":";
+  append_number(out, duration_s);
+  out << ",\"down_payload_mb\":";
+  append_number(out, down_payload_mb);
+  out << ",\"direction_flipped\":" << (direction_flipped ? "true" : "false");
+  out << ",\"connections\":[";
+  bool first = true;
+  for (const auto& c : connections) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"connection\":" << c.connection_id;
+    out << ",\"host\":" << static_cast<unsigned>(c.host);
+    out << ",\"packets\":" << c.packets;
+    out << ",\"first_packet_s\":";
+    append_number(out, c.first_packet_s);
+    out << ",\"last_packet_s\":";
+    append_number(out, c.last_packet_s);
+    out << ",\"down_payload_mb\":";
+    append_number(out, c.down_payload_mb);
+    out << ",\"strategy\":\"" << to_string(c.strategy) << "\"";
+    out << ",\"has_steady_state\":" << (c.has_steady_state ? "true" : "false");
+    out << ",\"median_block_kb\":";
+    append_number(out, c.median_block_kb);
+    out << ",\"median_off_s\":";
+    append_number(out, c.median_off_s);
+    out << ",\"cycle_period_s\":";
+    append_optional_json(out, c.cycle_period_s);
+    out << ",\"steady_rate_mbps\":";
+    append_number(out, c.steady_rate_mbps);
+    out << ",\"rtt_ms\":";
+    append_optional_json(out, c.rtt_ms);
+    out << ",\"median_first_rtt_kb\":";
+    append_optional_json(out, c.median_first_rtt_kb);
+    out << ",\"ack_clocked\":";
+    if (c.ack_clocked.has_value()) {
+      out << (*c.ack_clocked ? "true" : "false");
+    } else {
+      out << "null";
+    }
+    out << ",\"retransmission_pct\":";
+    append_number(out, c.retransmission_pct);
+    out << ",\"zero_window_episodes\":" << c.zero_window_episodes;
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string CaptureClassification::to_csv() const {
+  std::ostringstream out;
+  out << "connection,host,packets,first_packet_s,last_packet_s,down_payload_mb,strategy,"
+         "has_steady_state,median_block_kb,median_off_s,cycle_period_s,steady_rate_mbps,"
+         "rtt_ms,median_first_rtt_kb,ack_clocked,retransmission_pct,zero_window_episodes\n";
+  for (const auto& c : connections) {
+    out << c.connection_id << "," << static_cast<unsigned>(c.host) << "," << c.packets << ",";
+    append_csv_number(out, c.first_packet_s);
+    out << ",";
+    append_csv_number(out, c.last_packet_s);
+    out << ",";
+    append_csv_number(out, c.down_payload_mb);
+    out << "," << to_string(c.strategy) << "," << (c.has_steady_state ? "true" : "false") << ",";
+    append_csv_number(out, c.median_block_kb);
+    out << ",";
+    append_csv_number(out, c.median_off_s);
+    out << ",";
+    append_csv_optional(out, c.cycle_period_s);
+    out << ",";
+    append_csv_number(out, c.steady_rate_mbps);
+    out << ",";
+    append_csv_optional(out, c.rtt_ms);
+    out << ",";
+    append_csv_optional(out, c.median_first_rtt_kb);
+    out << ",";
+    if (c.ack_clocked.has_value()) out << (*c.ack_clocked ? "true" : "false");
+    out << ",";
+    append_csv_number(out, c.retransmission_pct);
+    out << "," << c.zero_window_episodes << "\n";
+  }
+  return out.str();
+}
+
+std::string CaptureClassification::render() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "capture: %llu records, %zu packets, %zu connections, %.2f MB down, %.1f s%s\n",
+                static_cast<unsigned long long>(records), packets, connections.size(),
+                down_payload_mb, duration_s, direction_flipped ? " (directions flipped)" : "");
+  out << line;
+  out << "conn  host  packets     down MB  strategy          block KB   off s  rate Mb/s  "
+         "ack-clock  retx%  zero-win\n";
+  for (const auto& c : connections) {
+    const char* clock = c.ack_clocked.has_value() ? (*c.ack_clocked ? "yes" : "no") : "-";
+    std::snprintf(line, sizeof line,
+                  "%-5llu %-5u %-11zu %-8.2f %-17s %-10.1f %-7.2f %-10.2f %-10s %-6.2f %zu\n",
+                  static_cast<unsigned long long>(c.connection_id), c.host, c.packets,
+                  c.down_payload_mb, to_string(c.strategy).c_str(), c.median_block_kb,
+                  c.median_off_s, c.steady_rate_mbps, clock, c.retransmission_pct,
+                  c.zero_window_episodes);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace vstream::analysis

@@ -1,0 +1,141 @@
+// Per-connection capture demux: the ingestion-side fan-out.
+//
+// A capture is a time-interleaved union of independent TCP connections, and
+// every per-connection question the classifier asks (strategy, pacing,
+// ack-clock, zero-window behaviour) depends only on that connection's own
+// records, in file order. That makes the demux embarrassingly parallel in
+// exactly the way the sweep engine already exploits for session worlds:
+//
+//   1. `partition_capture` — one serial pass over the mmapped file that
+//      parses only as far as the connection id, buckets each record's file
+//      offset into `connection_id % lanes`, and accumulates the global
+//      payload totals the direction heuristic needs (which peer sends the
+//      bulk of the payload is a whole-file question, so it is answered here,
+//      before any lane runs).
+//   2. `classify_lane` — each lane revisits its own offsets through the
+//      shared reader (read-only, zero-copy), keeps per-connection sequence
+//      unwrap state and a per-connection `StreamingReportBuilder`, and
+//      finishes them into `ConnectionLabel` rows. Lanes share nothing but
+//      the immutable mapping.
+//   3. `merge_lanes` — rows are spliced in ascending connection order, so
+//      the merged `CaptureClassification` is a pure function of the file:
+//      byte-identical whether one lane ran or sixteen.
+//
+// The parallel driver over these three steps lives in
+// analysis/parallel_classify.hpp (header-only, templated on the pool, so
+// this library never links the runner).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "capture/pcap_reader.hpp"
+
+namespace vstream::analysis {
+
+struct ClassifyOptions {
+  /// Per-connection analysis options (ON/OFF thresholds, periodicity...).
+  ReportOptions report;
+  /// Apply the majority-payload direction heuristic (foreign captures taken
+  /// with the viewer as the "source"). Our own writer encodes direction in
+  /// the addresses, making this a no-op.
+  bool auto_flip{true};
+};
+
+/// Result of the partition pass: per-lane record offsets plus the
+/// whole-file totals the direction heuristic and the summary need.
+struct CapturePartition {
+  std::vector<std::vector<std::uint64_t>> lane_offsets;
+  std::uint64_t records{0};           ///< pcap records in the file
+  std::uint64_t frames_skipped{0};    ///< non-IPv4/TCP or short captures
+  std::uint64_t down_payload_bytes{0};
+  std::uint64_t up_payload_bytes{0};
+
+  /// True when the capture's "up" direction carries the bulk of the payload
+  /// — i.e. the trace was taken with directions mirrored.
+  [[nodiscard]] bool flipped() const { return up_payload_bytes > down_payload_bytes; }
+};
+
+/// One classified connection — a row of the paper's Table 1 plus the
+/// transport-level columns (§4) that fall out of the same single pass.
+struct ConnectionLabel {
+  std::uint64_t connection_id{0};
+  std::uint8_t host{0};
+  std::size_t packets{0};
+  double first_packet_s{0.0};
+  double last_packet_s{0.0};
+  double down_payload_mb{0.0};
+
+  // Strategy (Table 1): no ON-OFF / short cycles / long cycles.
+  Strategy strategy{Strategy::kNoOnOff};
+  bool has_steady_state{false};
+  double median_block_kb{0.0};
+  double median_off_s{0.0};
+  std::optional<double> cycle_period_s;
+
+  // Pacing parameters: the server's steady-state transfer rate and how the
+  // pacing is achieved (ack-clocked: the first-RTT burst is small against
+  // the block, so the receiver's ack clock spreads the block out; absent
+  // when the connection never produced the inputs).
+  double steady_rate_mbps{0.0};
+  std::optional<double> rtt_ms;
+  std::optional<double> median_first_rtt_kb;
+  std::optional<bool> ack_clocked;
+
+  double retransmission_pct{0.0};
+  std::size_t zero_window_episodes{0};
+
+  friend bool operator==(const ConnectionLabel&, const ConnectionLabel&) = default;
+};
+
+/// The merged result: every connection in the capture, labelled, in
+/// ascending connection-id order, plus capture-wide totals.
+struct CaptureClassification {
+  std::vector<ConnectionLabel> connections;
+  std::uint64_t records{0};   ///< pcap records in the file
+  std::size_t packets{0};     ///< decoded TCP packets across connections
+  double duration_s{0.0};     ///< first decoded packet to last, capture-wide
+  double down_payload_mb{0.0};
+  bool direction_flipped{false};
+
+  [[nodiscard]] std::string to_json() const;
+  /// Header line + one row per connection; stable column set, `%.6g`
+  /// numbers, empty cells for absent optionals.
+  [[nodiscard]] std::string to_csv() const;
+  /// Human-readable table for terminals.
+  [[nodiscard]] std::string render() const;
+
+  friend bool operator==(const CaptureClassification&, const CaptureClassification&) = default;
+};
+
+/// Pass 1 (serial): bucket record offsets by `connection_id % lanes` and
+/// total the per-direction payload. `lanes >= 1`. Throws what the reader
+/// throws on a corrupt file.
+[[nodiscard]] CapturePartition partition_capture(const capture::MmapPcapReader& reader,
+                                                 std::size_t lanes);
+
+/// Pass 2 (parallel-safe): classify every connection of one lane. Distinct
+/// lanes touch disjoint connections and only read the shared mapping, so
+/// calls for distinct lanes are safe to run concurrently. Rows come back in
+/// ascending connection-id order.
+[[nodiscard]] std::vector<ConnectionLabel> classify_lane(const capture::MmapPcapReader& reader,
+                                                         const CapturePartition& partition,
+                                                         std::size_t lane,
+                                                         const ClassifyOptions& options);
+
+/// Pass 3 (serial): splice per-lane rows into one classification. `lanes`
+/// must hold one entry per partition lane; rows merge in ascending
+/// connection order, so the result is independent of lane count.
+[[nodiscard]] CaptureClassification merge_lanes(const CapturePartition& partition,
+                                                std::vector<std::vector<ConnectionLabel>> lanes,
+                                                const ClassifyOptions& options);
+
+/// Serial reference: the three passes back-to-back with one lane. The
+/// parallel driver (parallel_classify.hpp) is tested byte-identical to this.
+[[nodiscard]] CaptureClassification classify_capture_serial(const capture::MmapPcapReader& reader,
+                                                            const ClassifyOptions& options = {});
+
+}  // namespace vstream::analysis

@@ -1,0 +1,57 @@
+// Parallel capture classification: the demux passes on a worker pool.
+//
+// `classify_capture` drives the three connection_demux passes — serial
+// partition, per-lane classification fanned across the pool, serial merge —
+// and is byte-identical to `classify_capture_serial` for every pool width:
+// lane membership is `connection_id % lanes` with `lanes` fixed by the
+// *request* (not the pool's scheduling), each lane only reads the shared
+// immutable mapping, and the merge splices rows in connection order.
+//
+// The pool is a template parameter rather than a `runner::ParallelSweep`
+// so this header can live in the analysis layer without the analysis
+// library linking the runner (the dependency arrow goes runner -> analysis,
+// not back). Any pool with `jobs()`, `for_each_index(count, fn)` and a
+// static `current_worker()` fits; `ParallelSweep` is the intended one and
+// the only one the tools instantiate.
+//
+// Profiling: pass a `SweepProfiler` sized for the pool and the three passes
+// land in its phases — partition as kBuild on worker 0, lanes as kRun on
+// the worker that ran them, merge as kMerge on worker 0 — giving the
+// classifier CLI the same per-worker utilization table the sweep harness
+// publishes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "analysis/connection_demux.hpp"
+#include "runner/sweep_profiler.hpp"
+
+namespace vstream::analysis {
+
+template <typename Pool>
+[[nodiscard]] CaptureClassification classify_capture(const capture::MmapPcapReader& reader,
+                                                     const Pool& pool,
+                                                     const ClassifyOptions& options = {},
+                                                     runner::SweepProfiler* profiler = nullptr) {
+  const std::size_t lanes = pool.jobs() >= 1 ? pool.jobs() : 1;
+
+  CapturePartition partition;
+  {
+    const runner::SweepProfiler::Scope scope{profiler, 0, runner::SweepPhase::kBuild};
+    partition = partition_capture(reader, lanes);
+  }
+
+  std::vector<std::vector<ConnectionLabel>> lane_rows(lanes);
+  pool.for_each_index(lanes, [&](std::size_t lane) {
+    const runner::SweepProfiler::Scope scope{profiler, Pool::current_worker(),
+                                             runner::SweepPhase::kRun};
+    lane_rows[lane] = classify_lane(reader, partition, lane, options);
+  });
+
+  const runner::SweepProfiler::Scope scope{profiler, 0, runner::SweepPhase::kMerge};
+  return merge_lanes(partition, std::move(lane_rows), options);
+}
+
+}  // namespace vstream::analysis

@@ -1,226 +1,125 @@
 #include "capture/pcap.hpp"
 
+#include <algorithm>
 #include <array>
-#include <cstring>
 #include <fstream>
-#include <map>
 #include <stdexcept>
-#include <utility>
+#include <vector>
 
-#include "tcp/seqspace.hpp"
+#include "capture/pcap_wire.hpp"
 
 namespace vstream::capture {
 namespace {
 
-constexpr std::uint32_t kMagic = 0xa1b2c3d4;       // microsecond timestamps
-constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;  // nanosecond variant (read-supported)
-constexpr std::uint32_t kLinkTypeEthernet = 1;
-constexpr std::size_t kEthernetBytes = 14;
-constexpr std::size_t kIpv4Bytes = 20;
-constexpr std::size_t kTcpBytes = 20;
-constexpr std::size_t kHeadersBytes = kEthernetBytes + kIpv4Bytes + kTcpBytes;
+using namespace wire;
 
-constexpr std::uint32_t kServerIp = 0x0A000001;  // 10.0.0.1
-constexpr std::uint32_t kClientIp = 0xC0A80102;  // 192.168.1.2
-constexpr std::uint16_t kServerPort = 80;
-constexpr std::uint16_t kClientPortBase = 10000;
+/// One serialized record: 16-byte pcap record header + headers-only frame.
+constexpr std::size_t kRecordBytes = kRecordHeaderBytes + kHeadersBytes;
 
-void put_u16be(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 8U);
-  p[1] = static_cast<std::uint8_t>(v);
-}
-void put_u32be(std::uint8_t* p, std::uint32_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 24U);
-  p[1] = static_cast<std::uint8_t>(v >> 16U);
-  p[2] = static_cast<std::uint8_t>(v >> 8U);
-  p[3] = static_cast<std::uint8_t>(v);
-}
-std::uint16_t get_u16be(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>((p[0] << 8U) | p[1]);
-}
-std::uint32_t get_u32be(const std::uint8_t* p) {
-  return (static_cast<std::uint32_t>(p[0]) << 24U) | (static_cast<std::uint32_t>(p[1]) << 16U) |
-         (static_cast<std::uint32_t>(p[2]) << 8U) | static_cast<std::uint32_t>(p[3]);
-}
+/// Serialise one record into `out` (record header + Ethernet/IPv4/TCP
+/// frame). Shared by the streaming writer and, through it, `write_pcap`.
+void encode_record(const PacketRecord& p, std::array<std::uint8_t, kRecordBytes>& out) {
+  out.fill(0);
+  const auto ts_sec = static_cast<std::uint32_t>(p.t_s);
+  const auto ts_usec = static_cast<std::uint32_t>((p.t_s - ts_sec) * 1e6);
+  const auto orig_len = static_cast<std::uint32_t>(kHeadersBytes + p.payload_bytes);
+  put_u32le(out.data() + 0, ts_sec);
+  put_u32le(out.data() + 4, ts_usec);
+  put_u32le(out.data() + 8, std::uint32_t{kHeadersBytes});  // incl_len: headers only
+  put_u32le(out.data() + 12, orig_len);
 
-template <typename T>
-void write_raw(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-template <typename T>
-bool read_raw(std::ifstream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-  return in.gcount() == static_cast<std::streamsize>(sizeof v);
-}
+  std::uint8_t* eth = out.data() + kRecordHeaderBytes;
+  // MACs: 02:00:00:00:00:01 / 02:00:00:00:00:02, EtherType IPv4.
+  eth[0] = 0x02;
+  eth[5] = 0x01;
+  eth[6] = 0x02;
+  eth[11] = 0x02;
+  put_u16be(eth + 12, 0x0800);
 
-std::uint8_t tcp_flag_bits(net::TcpFlag flags) {
-  std::uint8_t bits = 0;
-  if (net::has_flag(flags, net::TcpFlag::kFin)) bits |= 0x01U;
-  if (net::has_flag(flags, net::TcpFlag::kSyn)) bits |= 0x02U;
-  if (net::has_flag(flags, net::TcpFlag::kRst)) bits |= 0x04U;
-  if (net::has_flag(flags, net::TcpFlag::kPsh)) bits |= 0x08U;
-  if (net::has_flag(flags, net::TcpFlag::kAck)) bits |= 0x10U;
-  return bits;
-}
+  const bool down = p.direction == net::Direction::kDown;
+  std::uint8_t* ip = eth + kEthernetBytes;
+  ip[0] = 0x45;  // v4, IHL 5
+  put_u16be(ip + 2, static_cast<std::uint16_t>(
+                        std::min<std::uint64_t>(kIpv4Bytes + kTcpBytes + p.payload_bytes,
+                                                65535)));  // total length
+  put_u16be(ip + 4, p.is_retransmission ? 1 : 0);          // IP ID carries retx flag
+  ip[8] = 64;                                              // TTL
+  ip[9] = 6;                                               // protocol TCP
+  // Server address encodes the host tag: 10.0.0.(1 + host).
+  const std::uint32_t server_ip = kServerIp + p.host;
+  put_u32be(ip + 12, down ? server_ip : kClientIp);
+  put_u32be(ip + 16, down ? kClientIp : server_ip);
 
-net::TcpFlag tcp_flags_from_bits(std::uint8_t bits) {
-  auto f = net::TcpFlag::kNone;
-  if (bits & 0x01U) f = f | net::TcpFlag::kFin;
-  if (bits & 0x02U) f = f | net::TcpFlag::kSyn;
-  if (bits & 0x04U) f = f | net::TcpFlag::kRst;
-  if (bits & 0x08U) f = f | net::TcpFlag::kPsh;
-  if (bits & 0x10U) f = f | net::TcpFlag::kAck;
-  return f;
+  const auto client_port =
+      static_cast<std::uint16_t>(kClientPortBase + (p.connection_id & 0xFFFFU));
+  std::uint8_t* tcp = ip + kIpv4Bytes;
+  put_u16be(tcp + 0, down ? kServerPort : client_port);
+  put_u16be(tcp + 2, down ? client_port : kServerPort);
+  put_u32be(tcp + 4, tcp::to_wire(p.seq));
+  put_u32be(tcp + 8, tcp::to_wire(p.ack));
+  tcp[12] = 5U << 4U;  // data offset 5 words
+  tcp[13] = tcp_flag_bits(p.flags);
+  const std::uint64_t scaled = p.window_bytes >> kWindowShift;
+  put_u16be(tcp + 14, static_cast<std::uint16_t>(std::min<std::uint64_t>(scaled, 65535)));
 }
 
 }  // namespace
 
+struct PcapWriter::Impl {
+  std::vector<char> stream_buffer;
+  std::ofstream out;
+};
+
+PcapWriter::PcapWriter(const std::string& path)
+    : impl_{std::make_unique<Impl>()}, path_{path} {
+  // A fat stream buffer keeps the per-record cost at a memcpy; the default
+  // filebuf would syscall every few records at 70 bytes each.
+  impl_->stream_buffer.resize(std::size_t{1} << 20U);
+  impl_->out.rdbuf()->pubsetbuf(impl_->stream_buffer.data(),
+                                static_cast<std::streamsize>(impl_->stream_buffer.size()));
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) throw std::runtime_error{"write_pcap: cannot open " + path};
+
+  std::array<std::uint8_t, kGlobalHeaderBytes> header{};
+  put_u32le(header.data() + 0, kMagicMicros);
+  put_u16le(header.data() + 4, 2);       // version major
+  put_u16le(header.data() + 6, 4);       // version minor
+  put_u32le(header.data() + 8, 0);       // thiszone
+  put_u32le(header.data() + 12, 0);      // sigfigs
+  put_u32le(header.data() + 16, 65535);  // snaplen
+  put_u32le(header.data() + 20, kLinkTypeEthernet);
+  impl_->out.write(reinterpret_cast<const char*>(header.data()),
+                   static_cast<std::streamsize>(header.size()));
+}
+
+PcapWriter::~PcapWriter() = default;
+
+void PcapWriter::add(const PacketRecord& record) {
+  std::array<std::uint8_t, kRecordBytes> bytes{};
+  encode_record(record, bytes);
+  impl_->out.write(reinterpret_cast<const char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()));
+  ++records_;
+}
+
+void PcapWriter::close() {
+  impl_->out.flush();
+  if (!impl_->out) throw std::runtime_error{"write_pcap: write failed for " + path_};
+  impl_->out.close();
+}
+
 void write_pcap(const PacketTrace& trace, const std::string& path) {
-  std::ofstream out{path, std::ios::binary | std::ios::trunc};
-  if (!out) throw std::runtime_error{"write_pcap: cannot open " + path};
-
-  // Global header.
-  write_raw(out, kMagic);
-  write_raw(out, std::uint16_t{2});      // version major
-  write_raw(out, std::uint16_t{4});      // version minor
-  write_raw(out, std::int32_t{0});       // thiszone
-  write_raw(out, std::uint32_t{0});      // sigfigs
-  write_raw(out, std::uint32_t{65535});  // snaplen
-  write_raw(out, kLinkTypeEthernet);
-
-  std::array<std::uint8_t, kHeadersBytes> frame{};
-  for (const auto& p : trace.packets) {
-    const auto ts_sec = static_cast<std::uint32_t>(p.t_s);
-    const auto ts_usec = static_cast<std::uint32_t>((p.t_s - ts_sec) * 1e6);
-    const auto orig_len = static_cast<std::uint32_t>(kHeadersBytes + p.payload_bytes);
-    write_raw(out, ts_sec);
-    write_raw(out, ts_usec);
-    write_raw(out, std::uint32_t{kHeadersBytes});  // incl_len: headers only
-    write_raw(out, orig_len);
-
-    frame.fill(0);
-    std::uint8_t* eth = frame.data();
-    // MACs: 02:00:00:00:00:01 / 02:00:00:00:00:02, EtherType IPv4.
-    eth[0] = 0x02;
-    eth[5] = 0x01;
-    eth[6] = 0x02;
-    eth[11] = 0x02;
-    put_u16be(eth + 12, 0x0800);
-
-    const bool down = p.direction == net::Direction::kDown;
-    std::uint8_t* ip = frame.data() + kEthernetBytes;
-    ip[0] = 0x45;  // v4, IHL 5
-    put_u16be(ip + 2, static_cast<std::uint16_t>(
-                          std::min<std::uint64_t>(kIpv4Bytes + kTcpBytes + p.payload_bytes,
-                                                  65535)));  // total length
-    put_u16be(ip + 4, p.is_retransmission ? 1 : 0);          // IP ID carries retx flag
-    ip[8] = 64;                                              // TTL
-    ip[9] = 6;                                               // protocol TCP
-    // Server address encodes the host tag: 10.0.0.(1 + host).
-    const std::uint32_t server_ip = kServerIp + p.host;
-    put_u32be(ip + 12, down ? server_ip : kClientIp);
-    put_u32be(ip + 16, down ? kClientIp : server_ip);
-
-    const auto client_port =
-        static_cast<std::uint16_t>(kClientPortBase + (p.connection_id & 0xFFFFU));
-    std::uint8_t* tcp = frame.data() + kEthernetBytes + kIpv4Bytes;
-    put_u16be(tcp + 0, down ? kServerPort : client_port);
-    put_u16be(tcp + 2, down ? client_port : kServerPort);
-    put_u32be(tcp + 4, tcp::to_wire(p.seq));
-    put_u32be(tcp + 8, tcp::to_wire(p.ack));
-    tcp[12] = 5U << 4U;  // data offset 5 words
-    tcp[13] = tcp_flag_bits(p.flags);
-    const std::uint64_t scaled = p.window_bytes >> kPcapWindowShift;
-    put_u16be(tcp + 14, static_cast<std::uint16_t>(std::min<std::uint64_t>(scaled, 65535)));
-
-    out.write(reinterpret_cast<const char*>(frame.data()),
-              static_cast<std::streamsize>(frame.size()));
-  }
-  if (!out) throw std::runtime_error{"write_pcap: write failed for " + path};
+  PcapWriter writer{path};
+  for (const auto& p : trace.packets) writer.add(p);
+  writer.close();
 }
 
 void for_each_pcap_record(const std::string& path,
                           const std::function<void(const PacketRecord&)>& fn) {
-  std::ifstream in{path, std::ios::binary};
-  if (!in) throw std::runtime_error{"read_pcap: cannot open " + path};
-
-  std::uint32_t magic{};
-  if (!read_raw(in, magic) || (magic != kMagic && magic != kMagicNanos)) {
-    throw std::runtime_error{"read_pcap: bad magic in " + path};
-  }
-  const double subsecond_unit = magic == kMagicNanos ? 1e-9 : 1e-6;
-  std::uint16_t vmaj{};
-  std::uint16_t vmin{};
-  std::int32_t zone{};
-  std::uint32_t sigfigs{};
-  std::uint32_t snaplen{};
-  std::uint32_t linktype{};
-  if (!read_raw(in, vmaj) || !read_raw(in, vmin) || !read_raw(in, zone) ||
-      !read_raw(in, sigfigs) || !read_raw(in, snaplen) || !read_raw(in, linktype)) {
-    throw std::runtime_error{"read_pcap: truncated global header in " + path};
-  }
-  if (linktype != kLinkTypeEthernet) {
-    throw std::runtime_error{"read_pcap: unsupported link type in " + path};
-  }
-
-  // Wire sequence numbers are 32-bit and wrap every 4 GiB per direction;
-  // unwrap them back to 64-bit absolute offsets against the highest value
-  // seen so far on each (connection, direction) stream. ACKs acknowledge
-  // the opposite direction's sequence space.
-  std::map<std::pair<std::uint64_t, int>, std::uint64_t> seq_reference;
-  const auto unwrap = [&seq_reference](std::uint64_t conn, int dir, std::uint32_t wire) {
-    const auto [it, fresh] = seq_reference.try_emplace({conn, dir}, wire);
-    if (fresh) return static_cast<std::uint64_t>(wire);
-    const std::uint64_t absolute = tcp::from_wire(wire, it->second);
-    it->second = std::max(it->second, absolute);
-    return absolute;
-  };
-  while (true) {
-    std::uint32_t ts_sec{};
-    std::uint32_t ts_usec{};
-    std::uint32_t incl_len{};
-    std::uint32_t orig_len{};
-    if (!read_raw(in, ts_sec)) break;  // clean EOF
-    if (!read_raw(in, ts_usec) || !read_raw(in, incl_len) || !read_raw(in, orig_len)) {
-      throw std::runtime_error{"read_pcap: truncated record header in " + path};
-    }
-    std::vector<std::uint8_t> frame(incl_len);
-    in.read(reinterpret_cast<char*>(frame.data()), static_cast<std::streamsize>(incl_len));
-    if (in.gcount() != static_cast<std::streamsize>(incl_len)) {
-      throw std::runtime_error{"read_pcap: truncated frame in " + path};
-    }
-    if (incl_len < kHeadersBytes) continue;  // not one of ours; skip
-    const std::uint8_t* ip = frame.data() + kEthernetBytes;
-    if ((ip[0] >> 4U) != 4 || ip[9] != 6) continue;  // non-IPv4/TCP
-
-    const std::uint8_t* tcp = frame.data() + kEthernetBytes + kIpv4Bytes;
-    PacketRecord r;
-    r.t_s = static_cast<double>(ts_sec) + static_cast<double>(ts_usec) * subsecond_unit;
-    const std::uint32_t src_ip = get_u32be(ip + 12);
-    const std::uint32_t dst_ip = get_u32be(ip + 16);
-    const auto in_server_net = [](std::uint32_t addr) {
-      return (addr & 0xFFFFFF00U) == (kServerIp & 0xFFFFFF00U);
-    };
-    r.direction = in_server_net(src_ip) ? net::Direction::kDown : net::Direction::kUp;
-    const std::uint32_t server_addr = in_server_net(src_ip) ? src_ip : dst_ip;
-    if (in_server_net(server_addr) && server_addr >= kServerIp) {
-      r.host = static_cast<std::uint8_t>(server_addr - kServerIp);
-    }
-    const std::uint16_t src_port = get_u16be(tcp + 0);
-    const std::uint16_t dst_port = get_u16be(tcp + 2);
-    const std::uint16_t client_port = (r.direction == net::Direction::kDown) ? dst_port : src_port;
-    r.connection_id = client_port >= kClientPortBase ? client_port - kClientPortBase : 0;
-    const int dir_index = r.direction == net::Direction::kDown ? 0 : 1;
-    r.seq = unwrap(r.connection_id, dir_index, get_u32be(tcp + 4));
-    r.ack = unwrap(r.connection_id, 1 - dir_index, get_u32be(tcp + 8));
-    r.flags = tcp_flags_from_bits(tcp[13]);
-    r.window_bytes = static_cast<std::uint64_t>(get_u16be(tcp + 14)) << kPcapWindowShift;
-    r.is_retransmission = get_u16be(ip + 4) == 1;
-    r.payload_bytes = orig_len >= kHeadersBytes
-                          ? static_cast<std::uint32_t>(orig_len - kHeadersBytes)
-                          : 0;
-    fn(r);
-  }
+  // Thin wrapper over the templated overload (a lambda, so overload
+  // resolution picks the template): the std::function dispatch happens once
+  // per record here and nowhere else.
+  for_each_pcap_record(path, [&fn](const PacketRecord& r) { fn(r); });
 }
 
 PacketTrace read_pcap(const std::string& path) {

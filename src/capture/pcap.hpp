@@ -11,17 +11,55 @@
 //   - receive window   -> TCP window, scaled by 2^7 as if a window-scale
 //                         option had been negotiated (values round down to a
 //                         multiple of 128; zero stays zero)
+//
+// Reading rides `MmapPcapReader` (pcap_reader.hpp): zero-copy mapped
+// records, all four pcap magics (µs/ns, native/byte-swapped), diagnostic
+// errors on truncated or corrupt files. The templated `for_each_pcap_record`
+// overload below inlines its visitor into the record loop; the
+// `std::function` overload is a thin wrapper kept for ABI-stable callers.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "capture/pcap_reader.hpp"
+#include "capture/pcap_wire.hpp"
 #include "capture/trace.hpp"
 
 namespace vstream::capture {
 
 /// TCP window scale applied when writing (as if WS=7 was negotiated).
-inline constexpr unsigned kPcapWindowShift = 7;
+inline constexpr unsigned kPcapWindowShift = wire::kWindowShift;
+
+/// Streaming pcap writer: global header on construction, one record per
+/// `add`, no trace materialisation — a multi-GB synthetic capture streams
+/// straight to disk in O(1) memory. Throws on I/O failure.
+class PcapWriter {
+ public:
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Append one record (must be fed in capture-time order for the readers'
+  /// gap analyses to make sense; the writer itself does not reorder).
+  void add(const PacketRecord& record);
+
+  /// Flush and close; throws if the stream failed. The destructor closes
+  /// without throwing for writers that already called close().
+  void close();
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string path_;
+  std::uint64_t records_{0};
+};
 
 /// Serialise the trace to `path` in pcap format. Throws on I/O failure.
 void write_pcap(const PacketTrace& trace, const std::string& path);
@@ -33,7 +71,29 @@ void write_pcap(const PacketTrace& trace, const std::string& path);
 
 /// Stream every record of a pcap file to `fn` in file order without
 /// materialising a trace — same parsing and unwrapping as `read_pcap`,
-/// O(1) memory in the capture length. Throws on I/O/format errors.
+/// O(1) memory in the capture length. The visitor is a template parameter:
+/// the record loop inlines it, with no per-record `std::function` dispatch
+/// or allocation. Throws on I/O/format errors.
+template <typename Fn>
+void for_each_pcap_record(const std::string& path, Fn&& fn) {
+  const MmapPcapReader reader{path};
+  SeqUnwrapMap unwrap;
+  PacketRecord record;
+  reader.for_each([&](const PcapRecordView& view) {
+    if (decode_record(
+            view,
+            [&unwrap](std::uint64_t conn, int dir, tcp::WireSeq w) {
+              return unwrap.unwrap(conn, dir, w);
+            },
+            record)) {
+      fn(std::as_const(record));
+    }
+  });
+}
+
+/// ABI-stable overload for callers that hold the visitor as a
+/// `std::function` (one dispatch per record; prefer the template above on
+/// hot paths).
 void for_each_pcap_record(const std::string& path,
                           const std::function<void(const PacketRecord&)>& fn);
 

@@ -1,0 +1,116 @@
+// Wire-format constants and helpers shared by the pcap writer and readers.
+//
+// The on-disk frame layout (Ethernet + IPv4 + TCP, headers only, simulation
+// metadata packed into legitimate header fields) is documented in pcap.hpp;
+// this header holds the byte-level encoding both sides agree on so the
+// buffered writer (pcap.cpp) and the zero-copy mmap reader (pcap_reader.cpp)
+// cannot drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "net/segment.hpp"
+
+namespace vstream::capture::wire {
+
+// pcap global-header magics. The writer always emits the native-order
+// microsecond magic; the reader accepts all four: a capture written on an
+// opposite-endian host stores every header field byte-swapped, and the
+// nanosecond variants scale the sub-second timestamp field by 1e-9.
+inline constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+inline constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+inline constexpr std::uint32_t kMagicMicrosSwapped = 0xd4c3b2a1;
+inline constexpr std::uint32_t kMagicNanosSwapped = 0x4d3cb2a1;
+
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+inline constexpr std::size_t kGlobalHeaderBytes = 24;
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+
+inline constexpr std::size_t kEthernetBytes = 14;
+inline constexpr std::size_t kIpv4Bytes = 20;
+inline constexpr std::size_t kTcpBytes = 20;
+inline constexpr std::size_t kHeadersBytes = kEthernetBytes + kIpv4Bytes + kTcpBytes;
+
+// Address/port encoding of the simulation metadata (see pcap.hpp).
+inline constexpr std::uint32_t kServerIp = 0x0A000001;  // 10.0.0.1
+inline constexpr std::uint32_t kClientIp = 0xC0A80102;  // 192.168.1.2
+inline constexpr std::uint16_t kServerPort = 80;
+inline constexpr std::uint16_t kClientPortBase = 10000;
+
+/// TCP window scale applied on the wire (as if WS=7 was negotiated);
+/// re-exported as `capture::kPcapWindowShift` in pcap.hpp.
+inline constexpr unsigned kWindowShift = 7;
+
+/// Snap lengths or record lengths beyond this are treated as file corruption
+/// rather than data: no sane link MTU or jumbo-frame capture comes within
+/// orders of magnitude of 64 MiB, but a garbage length field routinely does,
+/// and acting on one means allocating (or walking) gigabytes of nonsense.
+inline constexpr std::uint32_t kMaxSaneCaptureLen = 64U * 1024U * 1024U;
+
+inline void put_u16be(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8U);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void put_u32be(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24U);
+  p[1] = static_cast<std::uint8_t>(v >> 16U);
+  p[2] = static_cast<std::uint8_t>(v >> 8U);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void put_u16le(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8U);
+}
+
+inline void put_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8U);
+  p[2] = static_cast<std::uint8_t>(v >> 16U);
+  p[3] = static_cast<std::uint8_t>(v >> 24U);
+}
+
+[[nodiscard]] inline std::uint16_t get_u16be(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8U) | p[1]);
+}
+
+[[nodiscard]] inline std::uint32_t get_u32be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24U) | (static_cast<std::uint32_t>(p[1]) << 16U) |
+         (static_cast<std::uint32_t>(p[2]) << 8U) | static_cast<std::uint32_t>(p[3]);
+}
+
+/// Host-order u32 read from the (little-endian-written) pcap header fields,
+/// honouring the byte-swapped magic.
+[[nodiscard]] inline std::uint32_t get_u32le(const std::uint8_t* p, bool swapped) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8U) |
+                          (static_cast<std::uint32_t>(p[2]) << 16U) |
+                          (static_cast<std::uint32_t>(p[3]) << 24U);
+  if (!swapped) return v;
+  return ((v & 0x000000FFU) << 24U) | ((v & 0x0000FF00U) << 8U) | ((v & 0x00FF0000U) >> 8U) |
+         ((v & 0xFF000000U) >> 24U);
+}
+
+[[nodiscard]] inline std::uint8_t tcp_flag_bits(net::TcpFlag flags) {
+  std::uint8_t bits = 0;
+  if (net::has_flag(flags, net::TcpFlag::kFin)) bits |= 0x01U;
+  if (net::has_flag(flags, net::TcpFlag::kSyn)) bits |= 0x02U;
+  if (net::has_flag(flags, net::TcpFlag::kRst)) bits |= 0x04U;
+  if (net::has_flag(flags, net::TcpFlag::kPsh)) bits |= 0x08U;
+  if (net::has_flag(flags, net::TcpFlag::kAck)) bits |= 0x10U;
+  return bits;
+}
+
+[[nodiscard]] inline net::TcpFlag tcp_flags_from_bits(std::uint8_t bits) {
+  auto f = net::TcpFlag::kNone;
+  if (bits & 0x01U) f = f | net::TcpFlag::kFin;
+  if (bits & 0x02U) f = f | net::TcpFlag::kSyn;
+  if (bits & 0x04U) f = f | net::TcpFlag::kRst;
+  if (bits & 0x08U) f = f | net::TcpFlag::kPsh;
+  if (bits & 0x10U) f = f | net::TcpFlag::kAck;
+  return f;
+}
+
+}  // namespace vstream::capture::wire

@@ -1,0 +1,232 @@
+// Tests for the parallel per-connection demux and classifier: the parallel
+// driver must be byte-identical to the serial reference at every lane
+// count, the labels must agree with an independently-built per-connection
+// StreamingReportBuilder pass, and the direction-flip heuristic and empty
+// captures must behave across job counts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/connection_demux.hpp"
+#include "analysis/parallel_classify.hpp"
+#include "analysis/streaming_report.hpp"
+#include "capture/pcap.hpp"
+#include "capture/pcap_reader.hpp"
+#include "capture/synthetic.hpp"
+#include "runner/parallel_sweep.hpp"
+
+namespace {
+
+using namespace vstream;
+using namespace vstream::analysis;
+using vstream::capture::MmapPcapReader;
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    capture::SyntheticCaptureOptions gen;
+    gen.connections = 6;
+    // 16 MB gives the ack-clocked long-cycle connection (c=2) enough full
+    // cycles to cross the steady-state detector; at 8 MB it labels "No".
+    gen.target_file_bytes = 16ULL << 20U;
+    summary_ = capture::write_synthetic_capture(path_, gen);
+  }
+
+  static void TearDownTestSuite() { (void)std::remove(path_.c_str()); }
+
+  [[nodiscard]] static CaptureClassification serial() {
+    const MmapPcapReader reader{path_};
+    return classify_capture_serial(reader, {});
+  }
+
+  // gtest_discover_tests runs every test case as its own process, and ctest
+  // may run several concurrently — the fixture path must be per-process.
+  static inline std::string path_ =
+      "/tmp/vstream_classifier_test_" + std::to_string(::getpid()) + ".pcap";
+  static inline capture::SyntheticCaptureSummary summary_;
+};
+
+TEST_F(ClassifierTest, SerialClassificationMatchesGroundTruth) {
+  const CaptureClassification got = serial();
+  ASSERT_EQ(got.connections.size(), 6U);
+  EXPECT_EQ(got.records, summary_.records);
+  EXPECT_FALSE(got.direction_flipped);
+  EXPECT_GT(got.duration_s, 0.0);
+  EXPECT_GT(got.down_payload_mb, 0.0);
+
+  for (std::size_t i = 0; i < got.connections.size(); ++i) {
+    const ConnectionLabel& row = got.connections[i];
+    EXPECT_EQ(row.connection_id, i + 1);
+    EXPECT_GT(row.packets, 0U);
+    EXPECT_GE(row.last_packet_s, row.first_packet_s);
+  }
+
+  // Generator contract (synthetic.hpp): c%3==1 short cycles with a
+  // zero-window episode per block, c%3==2 long cycles, c%3==0 bulk,
+  // c%6==5 bursts whole blocks inside one RTT (no ack clock).
+  const auto& c1 = got.connections[0];
+  EXPECT_EQ(c1.strategy, Strategy::kShortOnOff);
+  EXPECT_TRUE(c1.has_steady_state);
+  EXPECT_GT(c1.zero_window_episodes, 0U);
+  ASSERT_TRUE(c1.ack_clocked.has_value());
+  EXPECT_TRUE(*c1.ack_clocked);
+
+  const auto& c2 = got.connections[1];
+  EXPECT_EQ(c2.strategy, Strategy::kLongOnOff);
+
+  const auto& c3 = got.connections[2];
+  EXPECT_EQ(c3.strategy, Strategy::kNoOnOff);
+  EXPECT_FALSE(c3.has_steady_state);
+
+  const auto& c5 = got.connections[4];
+  ASSERT_TRUE(c5.ack_clocked.has_value());
+  EXPECT_FALSE(*c5.ack_clocked);
+}
+
+TEST_F(ClassifierTest, ParallelIsByteIdenticalToSerialAtEveryJobCount) {
+  const CaptureClassification reference = serial();
+  const MmapPcapReader reader{path_};
+  for (const std::size_t jobs : {1U, 2U, 4U}) {
+    SCOPED_TRACE(jobs);
+    const runner::ParallelSweep pool{jobs};
+    const CaptureClassification got = classify_capture(reader, pool, {});
+    EXPECT_EQ(got, reference);
+    EXPECT_EQ(got.to_json(), reference.to_json());
+    EXPECT_EQ(got.to_csv(), reference.to_csv());
+  }
+}
+
+TEST_F(ClassifierTest, LabelsMatchIndependentPerConnectionBuilders) {
+  // Independent reference: group records per connection through the plain
+  // serial reader and run one StreamingReportBuilder per connection —
+  // no demux, no lanes, no shared code path beyond the builder itself.
+  std::map<std::uint64_t, StreamingReportBuilder> builders;
+  std::map<std::uint64_t, std::size_t> packets;
+  capture::for_each_pcap_record(path_, [&](const capture::PacketRecord& r) {
+    builders.try_emplace(r.connection_id, ReportOptions{}).first->second.add(r);
+    ++packets[r.connection_id];
+  });
+
+  const CaptureClassification got = serial();
+  ASSERT_EQ(got.connections.size(), builders.size());
+  for (const ConnectionLabel& row : got.connections) {
+    SCOPED_TRACE(row.connection_id);
+    const auto it = builders.find(row.connection_id);
+    ASSERT_NE(it, builders.end());
+    const SessionReport report = it->second.finish();
+    EXPECT_EQ(row.packets, packets[row.connection_id]);
+    EXPECT_EQ(row.strategy, report.strategy);
+    EXPECT_EQ(row.has_steady_state, report.has_steady_state);
+    EXPECT_DOUBLE_EQ(row.median_block_kb, report.median_block_kb);
+    EXPECT_DOUBLE_EQ(row.median_off_s, report.median_off_s);
+    EXPECT_DOUBLE_EQ(row.steady_rate_mbps, report.steady_rate_mbps);
+    EXPECT_DOUBLE_EQ(row.down_payload_mb, report.total_mb);
+    EXPECT_DOUBLE_EQ(row.retransmission_pct, report.retransmission_pct);
+    EXPECT_EQ(row.zero_window_episodes, report.zero_window_episodes);
+    EXPECT_EQ(row.rtt_ms.has_value(), report.rtt_ms.has_value());
+  }
+}
+
+TEST_F(ClassifierTest, MirroredCaptureIsFlippedBackToTheSameRows) {
+  // Re-write the capture with every record's direction mirrored, as if the
+  // trace had been taken from the server side of the tap.
+  capture::PacketTrace trace = capture::read_pcap(path_);
+  for (capture::PacketRecord& r : trace.packets) {
+    r.direction = net::opposite(r.direction);
+  }
+  const std::string mirrored = "/tmp/vstream_classifier_test_mirrored.pcap";
+  capture::write_pcap(trace, mirrored);
+
+  const MmapPcapReader reader{mirrored};
+  const CaptureClassification got = classify_capture_serial(reader, {});
+  (void)std::remove(mirrored.c_str());
+
+  EXPECT_TRUE(got.direction_flipped);
+  const CaptureClassification reference = serial();
+  ASSERT_EQ(got.connections.size(), reference.connections.size());
+  EXPECT_DOUBLE_EQ(got.down_payload_mb, reference.down_payload_mb);
+  for (std::size_t i = 0; i < reference.connections.size(); ++i) {
+    SCOPED_TRACE(i);
+    const ConnectionLabel& a = got.connections[i];
+    const ConnectionLabel& b = reference.connections[i];
+    EXPECT_EQ(a.connection_id, b.connection_id);
+    EXPECT_EQ(a.strategy, b.strategy);
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_DOUBLE_EQ(a.down_payload_mb, b.down_payload_mb);
+    EXPECT_DOUBLE_EQ(a.median_block_kb, b.median_block_kb);
+    EXPECT_EQ(a.zero_window_episodes, b.zero_window_episodes);
+  }
+}
+
+TEST_F(ClassifierTest, EmptyCaptureClassifiesToNothingAtEveryJobCount) {
+  const std::string empty = "/tmp/vstream_classifier_test_empty.pcap";
+  {
+    capture::PcapWriter writer{empty};
+    writer.close();
+  }
+  const MmapPcapReader reader{empty};
+  const CaptureClassification reference = classify_capture_serial(reader, {});
+  EXPECT_TRUE(reference.connections.empty());
+  EXPECT_EQ(reference.records, 0U);
+  EXPECT_EQ(reference.packets, 0U);
+  EXPECT_DOUBLE_EQ(reference.duration_s, 0.0);
+
+  for (const std::size_t jobs : {1U, 4U}) {
+    SCOPED_TRACE(jobs);
+    const runner::ParallelSweep pool{jobs};
+    EXPECT_EQ(classify_capture(reader, pool, {}), reference);
+  }
+  // CSV of an empty capture is the header line alone.
+  const std::string csv = reference.to_csv();
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);
+  (void)std::remove(empty.c_str());
+}
+
+TEST_F(ClassifierTest, CsvHasStableShape) {
+  const CaptureClassification got = serial();
+  const std::string csv = got.to_csv();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    const std::size_t nl = csv.find('\n', start);
+    lines.push_back(csv.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), got.connections.size() + 1);
+  const auto commas = [](const std::string& s) {
+    return static_cast<std::size_t>(std::count(s.begin(), s.end(), ','));
+  };
+  EXPECT_EQ(lines[0].rfind("connection,host,packets", 0), 0U);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(commas(line), commas(lines[0]));
+  }
+}
+
+TEST_F(ClassifierTest, PartitionCoversEveryRecordExactlyOnce) {
+  const MmapPcapReader reader{path_};
+  const CapturePartition partition = partition_capture(reader, 3);
+  ASSERT_EQ(partition.lane_offsets.size(), 3U);
+  std::uint64_t bucketed = 0;
+  for (const auto& lane : partition.lane_offsets) bucketed += lane.size();
+  EXPECT_EQ(bucketed + partition.frames_skipped, partition.records);
+  EXPECT_EQ(partition.records, summary_.records);
+  EXPECT_FALSE(partition.flipped());
+
+  // Lane membership is a pure function of the connection id.
+  const ClassifyOptions options;
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    SCOPED_TRACE(lane);
+    for (const ConnectionLabel& row : classify_lane(reader, partition, lane, options)) {
+      EXPECT_EQ(row.connection_id % 3, lane);
+    }
+  }
+}
+
+}  // namespace
