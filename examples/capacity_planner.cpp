@@ -14,9 +14,13 @@
 //                         [--shard-out PATH]
 //        capacity_planner --merge [--expect-digest HEX] shard.json...
 //
-// The empirical cross-check at the end simulates full sessions; those fan
-// out across cores (worker count from VSTREAM_JOBS, default hardware
-// concurrency, 1 = serial).
+// The empirical cross-check simulates shared-bottleneck topologies
+// (streaming/topology_builder.hpp): Poisson churn onto one link, per-window
+// R(t) measured against Eq 3/4 on the run's own measured inputs. Worlds
+// fan out across cores (worker count from VSTREAM_JOBS, default hardware
+// concurrency, 1 = serial). --trace-out still runs one representative
+// single session in a private world — the documented legacy entry point —
+// because topologies deliberately reject per-session trace sinks.
 //
 // --capacity runs N full packet-level sessions through the streamed sweep
 // path (runner/session_sweep.hpp): results fold into per-worker
@@ -53,6 +57,7 @@
 #include "runner/parallel_sweep.hpp"
 #include "runner/session_sweep.hpp"
 #include "runner/sweep_profiler.hpp"
+#include "runner/topology_sweep.hpp"
 #include "streaming/session_builder.hpp"
 
 namespace {
@@ -94,6 +99,53 @@ streaming::SessionConfig capacity_config(std::size_t g, double seconds) {
       .seed(900000 + g)
       .store_trace(false)  // aggregates only: memory stays O(1) per session
       .build();
+}
+
+/// --flash-crowd N: one shared-bottleneck world absorbing N viewers inside
+/// a few seconds — the topology API's stress shape (peak concurrency == N
+/// by construction, since every video outlives the arrival window). Prints
+/// the measured concurrency, the windowed R(t) against the closed forms on
+/// measured inputs, and the peak RSS the O(arrivals) world actually used.
+int run_flash_crowd(std::size_t viewers, double bottleneck_gbps) {
+  video::VideoMeta meta;
+  meta.id = "crowd";
+  meta.duration_s = 20.0;
+  meta.encoding_bps = 75e3;
+  meta.container = video::Container::kFlashHd;
+  const auto result =
+      streaming::TopologyBuilder{}
+          .container(video::Container::kFlashHd)
+          .vantage(net::Vantage::kResidence)
+          .video(meta)
+          .sessions(viewers)
+          .workload(streaming::WorkloadBuilder{}
+                        .flash_crowd(/*spread_s=*/5.0)
+                        .customize([](std::size_t, sim::Rng& rng, streaming::SessionConfig& cfg) {
+                          cfg.video.encoding_bps = rng.uniform(50e3, 100e3);
+                          cfg.video.duration_s = rng.uniform(15.0, 25.0);
+                        })
+                        .build())
+          .bottleneck_rate_bps(bottleneck_gbps * 1e9)
+          .horizon_s(35.0)
+          .warmup_s(2.0)
+          .sample_window_s(0.1)
+          .seed(31000)
+          .run();
+  std::printf("== flash crowd ==\n");
+  std::printf("  %zu viewers in 5 s onto a %.1f Gbps link (residence access legs)\n",
+              result.sessions_started, bottleneck_gbps);
+  std::printf("  peak concurrency %.0f sessions (mean %.0f), %llu sim events\n",
+              result.concurrency.peak, result.concurrency.mean(),
+              static_cast<unsigned long long>(result.sim_events));
+  std::printf("  aggregate R(t): mean %.1f Mbps, peak %.1f Mbps, sd %.1f Mbps\n",
+              result.mean_aggregate_bps() / 1e6, result.aggregate.peak / 1e6,
+              std::sqrt(result.variance_aggregate()) / 1e6);
+  std::printf("  %llu finished, %zu active at end, %.2f GB downloaded, peak RSS %.1f MB\n",
+              static_cast<unsigned long long>(result.sessions_finished),
+              result.sessions_active_at_end,
+              static_cast<double>(result.bytes_downloaded) / 1e9,
+              static_cast<double>(peak_rss_kb()) / 1024.0);
+  return 0;
 }
 
 int run_capacity(std::size_t capacity, double seconds, std::size_t shards, std::size_t shard,
@@ -258,9 +310,19 @@ int main(int argc, char** argv) {
   std::string shard_out;
   std::string expect_digest;
   bool merge = false;
+  std::size_t crowd = 0;
+  double crowd_gbps = 1.0;
   while (argc > 1 && std::strncmp(argv[1], "--", 2) == 0) {
     if (std::strcmp(argv[1], "--capacity") == 0 && argc > 2) {
       capacity = static_cast<std::size_t>(std::atoll(argv[2]));
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--flash-crowd") == 0 && argc > 2) {
+      crowd = static_cast<std::size_t>(std::atoll(argv[2]));
+      --argc;
+      ++argv;
+    } else if (std::strcmp(argv[1], "--gbps") == 0 && argc > 2) {
+      crowd_gbps = std::atof(argv[2]);
       --argc;
       ++argv;
     } else if (std::strcmp(argv[1], "--seconds") == 0 && argc > 2) {
@@ -305,7 +367,8 @@ int main(int argc, char** argv) {
                    "                        [lambda_per_s] [mean_rate_mbps] [mean_duration_s]\n"
                    "       capacity_planner --capacity N [--seconds S]\n"
                    "                        [--shards K --shard I] [--shard-out PATH]\n"
-                   "       capacity_planner --merge [--expect-digest HEX] shard.json...\n");
+                   "       capacity_planner --merge [--expect-digest HEX] shard.json...\n"
+                   "       capacity_planner --flash-crowd N [--gbps G]\n");
       return 2;
     }
     --argc;
@@ -316,6 +379,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) paths.emplace_back(argv[i]);
     return run_merge(paths, expect_digest);
+  }
+  if (crowd > 0) {
+    return run_flash_crowd(crowd, crowd_gbps);
   }
   if (capacity > 0) {
     return run_capacity(capacity, capacity_seconds, shards, shard, shard_out);
@@ -350,68 +416,57 @@ int main(int argc, char** argv) {
               std::sqrt(result.variance) / 1e6, std::sqrt(model::variance_aggregate_rate(p)) / 1e6);
   std::printf("  mean concurrently-active flows: %.1f\n", result.mean_active_flows);
 
-  // Empirical cross-check: the model's per-session inputs (download rate G,
-  // encoding rate e) come from packet-level simulation, not assumption.
-  // Sessions are independent worlds, so they fan across cores; results are
-  // merged in submission order and identical for any worker count.
+  // Empirical cross-check: a packet-level shared-bottleneck topology —
+  // Poisson churn onto one link, R(t) sampled per window — measured against
+  // the closed forms on its OWN measured inputs (lambda-hat, E[e], E[L],
+  // E[G] all come out of the run, not out of assumption). Scale-model
+  // sessions keep it to a couple of seconds; worlds fan across cores and
+  // the pooled windows are identical for any worker count.
   {
-    constexpr std::size_t kSessions = 8;
+    constexpr std::size_t kWorlds = 4;
     runner::ParallelSweep pool;
     runner::SweepProfiler profiler{pool.jobs()};
     if (!profile_path.empty()) pool.set_profiler(&profiler);
 
-    std::vector<streaming::SessionConfig> configs;
-    {
-      // Config construction is the sweep's build phase — serial, worker 0.
-      const runner::SweepProfiler::Scope build_scope{
-          pool.profiler(), 0, runner::SweepPhase::kBuild};
+    const auto make = [](std::size_t g) {
       video::VideoMeta meta;
       meta.id = "planner";
-      meta.duration_s = p.mean_duration_s;
-      meta.encoding_bps = p.mean_encoding_bps;
-      meta.container = video::Container::kFlash;
-      configs.reserve(kSessions);
-      for (std::size_t i = 0; i < kSessions; ++i) {
-        // Only aggregate outputs are read below: run the single-pass analysis
-        // during capture and store no packets — memory stays O(1) per session.
-        configs.push_back(streaming::SessionBuilder{}
-                              .vantage(net::Vantage::kResearch)
-                              .video(meta)
-                              .capture_duration_s(30.0)
-                              .seed(7000 + i)
-                              .store_trace(false)
-                              .streaming_report(true)
-                              .build());
-      }
-    }
-    // One representative traced world: a single sink serves a single
-    // session, so the parallel fan-out stays data-race free.
-    std::unique_ptr<obs::ChromeTraceSink> trace_sink;
-    if (!trace_path.empty()) {
-      trace_sink = std::make_unique<obs::ChromeTraceSink>(trace_path);
-      configs.front().trace_sink = trace_sink.get();
-    }
-
-    const auto sessions = pool.run_sessions(configs);
-    double rate_sum = 0.0;
-    double encoding_sum = 0.0;
-    {
-      const runner::SweepProfiler::Scope merge_scope{
-          pool.profiler(), 0, runner::SweepPhase::kMerge};
-      for (const auto& s : sessions) {
-        rate_sum += 8.0 * s.bytes_downloaded / configs.front().capture_duration_s;
-        encoding_sum += s.encoding_bps_estimated;
-      }
-    }
-    std::printf("\nempirical session sweep (%zu simulated sessions, %zu workers):\n",
-                sessions.size(), pool.jobs());
-    std::printf("  mean session download rate %.2f Mbps (model E[e] input %.2f Mbps)\n",
-                rate_sum / kSessions / 1e6, p.mean_encoding_bps / 1e6);
-    std::printf("  mean estimated encoding    %.2f Mbps\n", encoding_sum / kSessions / 1e6);
-    if (trace_sink) {
-      trace_sink->close();
-      std::printf("  span timeline: %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
-    }
+      meta.duration_s = 6.0;
+      meta.encoding_bps = 75e3;
+      meta.container = video::Container::kFlashHd;
+      return streaming::TopologyBuilder{}
+          .container(video::Container::kFlashHd)
+          .vantage(net::Vantage::kResidence)
+          .video(meta)
+          .sessions(900)
+          .workload(
+              streaming::WorkloadBuilder{}
+                  .poisson(25.0)
+                  .customize([](std::size_t, sim::Rng& rng, streaming::SessionConfig& cfg) {
+                    cfg.video.encoding_bps = rng.uniform(50e3, 100e3);
+                    cfg.video.duration_s = rng.uniform(4.0, 8.0);
+                  })
+                  .build())
+          .bottleneck_rate_bps(60e6)
+          .horizon_s(30.0)
+          .warmup_s(10.0)
+          .sample_window_s(0.1)
+          .seed(7000 + g)
+          .build();
+    };
+    const auto sweep = runner::run_topologies_streamed(pool, 0, kWorlds, make);
+    const auto measured = sweep.measured_model_params();
+    std::printf("\nempirical topology cross-check (%llu sessions, %zu worlds, %zu workers):\n",
+                static_cast<unsigned long long>(sweep.sessions_started), kWorlds, pool.jobs());
+    std::printf("  measured lambda=%.1f/s, E[e]=%.0f kbps, E[L]=%.1f s, E[G]=%.2f Mbps\n",
+                measured.lambda_per_s, measured.mean_encoding_bps / 1e3,
+                measured.mean_duration_s, measured.mean_download_rate_bps / 1e6);
+    std::printf("  shared-link R(t): mean %.2f Mbps (Eq 3 on measured inputs: %.2f), "
+                "sd %.2f Mbps (Eq 4: %.2f)\n",
+                sweep.mean_aggregate_bps() / 1e6,
+                model::mean_aggregate_rate_bps(measured) / 1e6,
+                std::sqrt(sweep.variance_aggregate()) / 1e6,
+                std::sqrt(model::variance_aggregate_rate(measured)) / 1e6);
     if (!profile_path.empty()) {
       const auto summary = profiler.summary();
       std::printf("  sweep profile: %.2f s wall, %.0f%% utilization across %zu workers\n",
@@ -425,6 +480,31 @@ int main(int argc, char** argv) {
       profiler.write_json(profile_path, "capacity_planner");
       std::printf("  profile written: %s\n", profile_path.c_str());
     }
+  }
+
+  // Legacy single-session entry point (documented in DESIGN.md §15): one
+  // representative private-world session carrying the Chrome-trace sink —
+  // topologies reject per-session trace attachments by design, so the span
+  // timeline still comes from the single-session path.
+  if (!trace_path.empty()) {
+    auto trace_sink = std::make_unique<obs::ChromeTraceSink>(trace_path);
+    video::VideoMeta meta;
+    meta.id = "planner-trace";
+    meta.duration_s = p.mean_duration_s;
+    meta.encoding_bps = p.mean_encoding_bps;
+    meta.container = video::Container::kFlash;
+    const auto traced = streaming::SessionBuilder{}
+                            .vantage(net::Vantage::kResearch)
+                            .video(meta)
+                            .capture_duration_s(30.0)
+                            .seed(7000)
+                            .store_trace(false)
+                            .trace_sink(trace_sink.get())
+                            .run();
+    trace_sink->close();
+    std::printf("\ntraced representative session: %.1f MB downloaded\n",
+                static_cast<double>(traced.bytes_downloaded) / 1e6);
+    std::printf("  span timeline: %s (open in https://ui.perfetto.dev)\n", trace_path.c_str());
   }
 
   std::printf("\n== what-if scenarios (paper's conclusion) ==\n");

@@ -1,0 +1,44 @@
+#include "net/bottleneck.hpp"
+
+#include <stdexcept>
+
+namespace vstream::net {
+
+void SharedBottleneck::Config::validate() const {
+  if (rate_bps <= 0.0) {
+    throw std::invalid_argument{"SharedBottleneck: rate must be positive"};
+  }
+  if (queue_limit_bytes == 0) {
+    throw std::invalid_argument{"SharedBottleneck: queue limit must be positive"};
+  }
+  if (loss_rate < 0.0 || loss_rate >= 1.0) {
+    throw std::invalid_argument{"SharedBottleneck: loss rate outside [0,1)"};
+  }
+  if (loss_burst_len < 1.0) {
+    throw std::invalid_argument{"SharedBottleneck: loss burst length below 1"};
+  }
+}
+
+SharedBottleneck::SharedBottleneck(sim::Simulator& sim, const Config& config, sim::Rng& rng) {
+  config.validate();
+  const Link::Config link_cfg{.rate_bps = config.rate_bps,
+                              .prop_delay = config.prop_delay,
+                              .queue_limit_bytes = config.queue_limit_bytes};
+  link_ = std::make_unique<Link>(sim, link_cfg,
+                                 make_bursty_loss(config.loss_rate, config.loss_burst_len),
+                                 rng.fork("bottleneck-loss"));
+  link_->set_receiver([this](const TcpSegment& segment) {
+    const std::uint32_t client = client_of(segment.connection_id);
+    // Foreign ids (cross-traffic) contended for the queue; their journey
+    // ends here.
+    if (client < legs_.size()) legs_[client]->down().send(segment);
+  });
+}
+
+std::uint32_t SharedBottleneck::attach(Path& leg) {
+  leg.set_down_ingress(&link());
+  legs_.push_back(&leg);
+  return static_cast<std::uint32_t>(legs_.size() - 1);
+}
+
+}  // namespace vstream::net

@@ -34,6 +34,16 @@ class Path {
   [[nodiscard]] Link& down() { return *down_; }
   [[nodiscard]] Link& up() { return *up_; }
 
+  /// Where the server side transmits data. On a private path this is the
+  /// down link itself; in a shared-bottleneck topology it is the bottleneck
+  /// link, which fans delivered segments back into this path's down link
+  /// (net/bottleneck.hpp). The ingress link is non-owning and must outlive
+  /// the path.
+  [[nodiscard]] Link& down_ingress() {
+    return down_ingress_ != nullptr ? *down_ingress_ : *down_;
+  }
+  void set_down_ingress(Link* ingress) { down_ingress_ = ingress; }
+
   /// Base RTT for zero-payload segments with empty queues.
   [[nodiscard]] sim::Duration unloaded_rtt() const;
 
@@ -54,6 +64,7 @@ class Path {
   NetworkProfile profile_;
   std::unique_ptr<Link> down_;
   std::unique_ptr<Link> up_;
+  Link* down_ingress_{nullptr};
   std::unique_ptr<CrossTraffic> cross_;
 };
 

@@ -4,6 +4,7 @@ namespace vstream::net {
 
 std::unique_ptr<Path> PathBuilder::build() {
   auto path = std::make_unique<Path>(sim_, profile_, *rng_, std::move(down_loss_));
+  if (down_ingress_ != nullptr) path->set_down_ingress(down_ingress_);
   if (tap_) path->set_tap(std::move(tap_));
   if (!impairments_.empty()) path->set_impairments(std::move(impairments_));
   if (cross_.has_value()) {

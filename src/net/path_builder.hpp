@@ -48,6 +48,14 @@ class PathBuilder {
     return *this;
   }
 
+  /// Route server transmissions through `ingress` (a shared bottleneck
+  /// link) instead of the path's own down link. Non-owning; must outlive
+  /// the built path.
+  PathBuilder& down_ingress(Link& ingress) {
+    down_ingress_ = &ingress;
+    return *this;
+  }
+
   /// Inject Poisson cross-traffic bursts onto the down link; the generator
   /// is owned by the Path and started at build().
   PathBuilder& cross_traffic(CrossTraffic::Config config) {
@@ -66,6 +74,7 @@ class PathBuilder {
   std::function<void(sim::SimTime, const TcpSegment&, Direction, LinkEvent)> tap_;
   ImpairmentSchedule impairments_;
   std::optional<CrossTraffic::Config> cross_;
+  Link* down_ingress_{nullptr};
 };
 
 }  // namespace vstream::net

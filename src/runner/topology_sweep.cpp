@@ -1,0 +1,100 @@
+#include "runner/topology_sweep.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "check/digest.hpp"
+#include "sim/arena.hpp"
+
+namespace vstream::runner {
+
+void TopologyAccumulator::add(std::size_t index, const streaming::TopologyResult& result,
+                              double horizon_s, std::uint64_t digest_value,
+                              std::uint64_t words_mixed) {
+  ++worlds;
+  sessions_started += result.sessions_started;
+  sessions_finished += result.sessions_finished;
+  sessions_interrupted += result.sessions_interrupted;
+  sessions_active_at_end += result.sessions_active_at_end;
+  connections += result.connections;
+  bytes_downloaded += result.bytes_downloaded;
+  wasted_bytes += result.wasted_bytes;
+  video_payload_bytes += result.video_payload_bytes;
+  cross_traffic_bytes += result.cross_traffic_bytes;
+  bottleneck_dropped_queue += result.bottleneck_dropped_queue;
+  bottleneck_dropped_loss += result.bottleneck_dropped_loss;
+  sim_events += result.sim_events;
+  max_events_pending = std::max(max_events_pending, result.sim_max_events_pending);
+  aggregate.merge(result.aggregate);
+  concurrency.merge(result.concurrency);
+  sum_encoding_bps += result.sum_encoding_bps;
+  sum_duration_s += result.sum_duration_s;
+  sum_goodput_bps += result.sum_goodput_bps;
+  goodput_samples += result.goodput_samples;
+  horizon_s_sum += horizon_s;
+  digest.add(index, digest_value, words_mixed);
+}
+
+void TopologyAccumulator::merge(const TopologyAccumulator& other) {
+  worlds += other.worlds;
+  sessions_started += other.sessions_started;
+  sessions_finished += other.sessions_finished;
+  sessions_interrupted += other.sessions_interrupted;
+  sessions_active_at_end += other.sessions_active_at_end;
+  connections += other.connections;
+  bytes_downloaded += other.bytes_downloaded;
+  wasted_bytes += other.wasted_bytes;
+  video_payload_bytes += other.video_payload_bytes;
+  cross_traffic_bytes += other.cross_traffic_bytes;
+  bottleneck_dropped_queue += other.bottleneck_dropped_queue;
+  bottleneck_dropped_loss += other.bottleneck_dropped_loss;
+  sim_events += other.sim_events;
+  max_events_pending = std::max(max_events_pending, other.max_events_pending);
+  aggregate.merge(other.aggregate);
+  concurrency.merge(other.concurrency);
+  sum_encoding_bps += other.sum_encoding_bps;
+  sum_duration_s += other.sum_duration_s;
+  sum_goodput_bps += other.sum_goodput_bps;
+  goodput_samples += other.goodput_samples;
+  horizon_s_sum += other.horizon_s_sum;
+  digest.merge(other.digest);
+}
+
+TopologyAccumulator run_topologies_streamed(
+    const ParallelSweep& pool, std::size_t first, std::size_t count,
+    const std::function<streaming::TopologyConfig(std::size_t)>& make) {
+  // One lane per worker, as in run_sessions_streamed: a recycled world
+  // arena plus the partial aggregate, padded against false sharing.
+  struct alignas(128) Lane {
+    sim::ArenaResource arena;
+    TopologyAccumulator partial;
+  };
+  std::vector<Lane> lanes(pool.jobs());
+  SweepProfiler* const profiler = pool.profiler();
+
+  pool.for_each_chunk(
+      count, 0, [&lanes, &make, first, profiler](std::size_t begin, std::size_t end,
+                                                 std::size_t worker) {
+        Lane& lane = lanes[worker];
+        for (std::size_t i = begin; i < end; ++i) {
+          const SweepProfiler::Scope scope{profiler, worker, SweepPhase::kRun};
+          lane.arena.reset();
+          const std::size_t global = first + i;
+          streaming::TopologyConfig cfg = make(global);
+          check::StateDigest world_digest;
+          cfg.digest = &world_digest;
+          if (cfg.arena == nullptr) cfg.arena = &lane.arena;
+          const streaming::TopologyResult result = streaming::run_topology(cfg);
+          streaming::fold_topology_outcome(world_digest, result);
+          lane.partial.add(global, result, cfg.horizon_s, world_digest.value(),
+                           world_digest.words_mixed());
+        }
+      });
+
+  const SweepProfiler::Scope merge_scope{profiler, 0, SweepPhase::kMerge};
+  TopologyAccumulator total;
+  for (const Lane& lane : lanes) total.merge(lane.partial);
+  return total;
+}
+
+}  // namespace vstream::runner

@@ -1,0 +1,31 @@
+#include "stats/windowed_rate.hpp"
+
+#include <stdexcept>
+
+namespace vstream::stats {
+
+WindowedRate::WindowedRate(double window_s, double warmup_s)
+    : window_s_{window_s}, window_start_s_{warmup_s} {
+  if (window_s <= 0.0) {
+    throw std::invalid_argument{"WindowedRate: window must be positive"};
+  }
+  if (warmup_s < 0.0) {
+    throw std::invalid_argument{"WindowedRate: warmup must be non-negative"};
+  }
+}
+
+void WindowedRate::advance_to(double t_s) {
+  while (t_s >= window_start_s_ + window_s_) {
+    windows_.add(8.0 * static_cast<double>(window_bytes_) / window_s_);
+    window_bytes_ = 0;
+    window_start_s_ += window_s_;
+  }
+}
+
+void WindowedRate::on_bytes(double t_s, std::uint64_t bytes) {
+  if (t_s < window_start_s_) return;  // warmup, or pre-first-window traffic
+  advance_to(t_s);
+  window_bytes_ += bytes;
+}
+
+}  // namespace vstream::stats

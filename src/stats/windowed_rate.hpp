@@ -1,0 +1,74 @@
+// Per-window aggregate rate sampling for R(t), the superposed traffic
+// process of Section 6.
+//
+// The paper estimates the mean and variance of aggregate streaming traffic
+// by averaging the byte count over fixed windows; `WindowedRate` does the
+// same over a simulated byte stream (the shared bottleneck's deliveries).
+// Bytes are credited to the window covering their delivery time, windows
+// close lazily as time advances, and the closed-window statistics are kept
+// as (count, sum, sum of squares, peak) so shard results pool exactly:
+// the combined mean/variance over all shards' windows is computed from the
+// summed moments, independent of shard boundaries or merge order.
+#pragma once
+
+#include <cstdint>
+
+namespace vstream::stats {
+
+/// Moment accumulator over closed windows. Also reused for any per-window
+/// scalar series (e.g. concurrent-session counts).
+struct WindowStats {
+  std::uint64_t count{0};
+  double sum{0.0};
+  double sum_sq{0.0};
+  double peak{0.0};
+
+  void add(double value) {
+    ++count;
+    sum += value;
+    sum_sq += value * value;
+    if (value > peak) peak = value;
+  }
+
+  void merge(const WindowStats& other) {
+    count += other.count;
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+    if (other.peak > peak) peak = other.peak;
+  }
+
+  [[nodiscard]] double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Population variance over the windows.
+  [[nodiscard]] double variance() const {
+    if (count == 0) return 0.0;
+    const double m = mean();
+    const double v = sum_sq / static_cast<double>(count) - m * m;
+    return v > 0.0 ? v : 0.0;
+  }
+};
+
+class WindowedRate {
+ public:
+  /// Windows of `window_s` seconds starting at `warmup_s`; bytes before the
+  /// warmup are discarded (arrival-process ramp-up is not stationary R(t)).
+  WindowedRate(double window_s, double warmup_s);
+
+  /// Credit `bytes` delivered at time `t_s`. Times must be non-decreasing
+  /// (simulation order); earlier windows are closed first.
+  void on_bytes(double t_s, std::uint64_t bytes);
+
+  /// Close every window that ends at or before `t_s`. Call with the
+  /// horizon after the run so trailing silent windows count as zero-rate.
+  void advance_to(double t_s);
+
+  [[nodiscard]] const WindowStats& windows() const { return windows_; }
+  [[nodiscard]] double window_s() const { return window_s_; }
+
+ private:
+  double window_s_;
+  double window_start_s_;
+  std::uint64_t window_bytes_{0};
+  WindowStats windows_;
+};
+
+}  // namespace vstream::stats

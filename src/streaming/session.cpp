@@ -7,18 +7,11 @@
 #include "analysis/streaming_report.hpp"
 #include "capture/recorder.hpp"
 #include "check/digest.hpp"
-#include "http/exchange.hpp"
 #include "net/path.hpp"
 #include "net/path_builder.hpp"
 #include "obs/context.hpp"
-#include "streaming/auxiliary.hpp"
-#include "streaming/clients.hpp"
-#include "streaming/fetch.hpp"
-#include "streaming/ipad_client.hpp"
-#include "streaming/netflix_client.hpp"
-#include "streaming/video_server.hpp"
+#include "streaming/session_instance.hpp"
 #include "tcp/connection.hpp"
-#include "video/container_header.hpp"
 
 namespace vstream::streaming {
 
@@ -101,23 +94,6 @@ struct World {
   capture::TraceRecorder recorder;
 };
 
-tcp::TcpOptions client_options_with_buffer(std::uint64_t recv_bytes) {
-  tcp::TcpOptions o;
-  o.recv_buffer_bytes = recv_bytes;
-  return o;
-}
-
-/// Deferred player wiring: clients need a sink before the player exists in
-/// some flows (Netflix selects its rate first).
-struct PlayerCell {
-  Player* player{nullptr};
-  [[nodiscard]] ByteSink sink() {
-    return [this](std::uint64_t n) {
-      if (player != nullptr) player->on_bytes_downloaded(n);
-    };
-  }
-};
-
 }  // namespace
 
 void SessionConfig::validate() const {
@@ -136,12 +112,44 @@ void SessionConfig::validate() const {
   if (bandwidth_jitter < 0.0) {
     throw std::invalid_argument{"SessionConfig: bandwidth jitter must be non-negative"};
   }
+  if (topology_attached) {
+    if (bandwidth_jitter > 0.0) {
+      throw std::invalid_argument{
+          "SessionConfig: bandwidth_jitter is the private-path stand-in for shared-link "
+          "contention and cannot compose with a topology attachment — the shared bottleneck "
+          "produces the contention for real; set bandwidth_jitter(0) on the session template "
+          "(TopologyBuilder's default)"};
+    }
+    if (store_trace || keep_full_trace || streaming_report) {
+      throw std::invalid_argument{
+          "SessionConfig: per-session capture and report machinery is private-path only — a "
+          "topology world samples its shared bottleneck instead of recording per-session "
+          "packets; disable store_trace/keep_full_trace/streaming_report on the session "
+          "template (TopologyBuilder's default)"};
+    }
+    if (trace_sink != nullptr || digest != nullptr || arena != nullptr) {
+      throw std::invalid_argument{
+          "SessionConfig: trace sinks, digests and arenas are per-world attachments — in a "
+          "topology they belong on TopologyConfig, not on the session template"};
+    }
+    if (!impairments.empty()) {
+      throw std::invalid_argument{
+          "SessionConfig: impairment windows are absolute world times, which a session "
+          "arriving mid-run cannot honour — fault the shared link via "
+          "TopologyConfig::bottleneck_impairments instead"};
+    }
+  }
   fetch_retry.validate();
   impairments.validate();
 }
 
 SessionResult run_session(const SessionConfig& cfg) {
   cfg.validate();
+  if (cfg.topology_attached) {
+    throw std::invalid_argument{
+        "run_session: config is marked topology_attached — run it through run_topology "
+        "(streaming/topology.hpp), which owns the shared world this session expects"};
+  }
 
   World w{cfg};
   if (cfg.trace_sink != nullptr) w.obs.trace().attach(cfg.trace_sink);
@@ -162,152 +170,17 @@ SessionResult run_session(const SessionConfig& cfg) {
   }
   obs::SimLoopMonitor loop_monitor{w.sim, sim::Duration::seconds(1.0)};
   loop_monitor.start();
-  sim::Rng knob_rng = w.rng.fork("session-knobs");
-  PlayerCell cell;
 
-  // Objects created per combination; all owned here so they outlive the run.
-  std::unique_ptr<VideoStreamServer> server;
-  std::unique_ptr<GreedyClient> greedy;
-  std::unique_ptr<PullThrottleClient> pull;
-  std::unique_ptr<FetchManager> fetches;
-  std::unique_ptr<IpadYouTubeClient> ipad;
-  std::unique_ptr<NetflixClient> netflix;
-  std::unique_ptr<AuxiliaryTraffic> auxiliary;
-  tcp::Connection* conn = nullptr;
-
-  if (cfg.auxiliary_traffic) {
-    auxiliary = std::make_unique<AuxiliaryTraffic>(w.sim, w.fabric, AuxiliaryTraffic::Config{},
-                                                   w.rng.fork("auxiliary"));
-    auxiliary->start();
-  }
-
-  double player_rate_bps = cfg.video.encoding_bps;
-  const auto mb = [](double x) { return static_cast<std::uint64_t>(x * 1024 * 1024); };
-
-  const auto open_single_connection = [&](std::uint64_t client_recv_bytes,
-                                          ServerPacing pacing) {
-    tcp::TcpOptions server_tcp;
-    server_tcp.reset_cwnd_after_idle = cfg.server_idle_cwnd_reset;
-    conn = &w.fabric.create_connection(client_options_with_buffer(client_recv_bytes), server_tcp);
-    server = std::make_unique<VideoStreamServer>(w.sim, conn->server(), cfg.video, pacing);
-    tcp::Connection* c = conn;
-    const std::string id = cfg.video.id;
-    conn->client().set_on_established([c, id] {
-      http::HttpClient http{c->client()};
-      http.send_request(http::make_video_request(id));
-    });
-  };
-
-  if (cfg.service == Service::kYouTube) {
-    switch (cfg.container) {
-      case Container::kFlash: {
-        // Server-paced push: ~40 s burst, 64 kB blocks, ratio 1.25.
-        auto pacing = ServerPacing::youtube_flash();
-        pacing.initial_burst_playback_s = 40.0 * knob_rng.uniform(0.85, 1.15);
-        open_single_connection(512 * 1024, pacing);
-        greedy = std::make_unique<GreedyClient>(conn->client(), cell.sink());
-        conn->open();
-        break;
-      }
-      case Container::kFlashHd: {
-        // Bulk transfer: nobody throttles HD Flash (Fig 8).
-        open_single_connection(512 * 1024, ServerPacing::bulk());
-        greedy = std::make_unique<GreedyClient>(conn->client(), cell.sink());
-        conn->open();
-        break;
-      }
-      case Container::kHtml5: {
-        if (cfg.application == Application::kFirefox) {
-          // Firefox HTML5: bulk, no throttling anywhere.
-          open_single_connection(512 * 1024, ServerPacing::bulk());
-          greedy = std::make_unique<GreedyClient>(conn->client(), cell.sink());
-          conn->open();
-        } else if (cfg.application == Application::kIosNative) {
-          // iPad: successive ranged connections, mixed strategy.
-          IpadYouTubeClient::Config icfg;
-          icfg.initial_buffer_bytes = mb(knob_rng.uniform(8.0, 12.0));
-          fetches = std::make_unique<FetchManager>(w.sim, w.fabric, cfg.video,
-                                                   client_options_with_buffer(512 * 1024),
-                                                   tcp::TcpOptions{}, cfg.fetch_retry);
-          ipad = std::make_unique<IpadYouTubeClient>(w.sim, *fetches, cfg.video, icfg,
-                                                     cell.sink());
-          ipad->start();
-        } else {
-          // IE / Chrome / Android app: bulk server, client pull throttling.
-          PullThrottleClient::Config pcfg;
-          pcfg.encoding_bps = cfg.video.encoding_bps;
-          std::uint64_t recv_buffer = 0;
-          if (cfg.application == Application::kInternetExplorer) {
-            pcfg.buffering_target_bytes = mb(knob_rng.uniform(10.0, 15.0));
-            pcfg.pull_quantum_bytes = 256 * 1024;
-            pcfg.accumulation_ratio = 1.06;
-            recv_buffer = 256 * 1024;
-          } else if (cfg.application == Application::kChrome) {
-            pcfg.buffering_target_bytes = mb(knob_rng.uniform(10.0, 15.0));
-            pcfg.pull_quantum_bytes = mb(knob_rng.uniform(4.0, 10.0));
-            pcfg.accumulation_ratio = 1.34;
-            recv_buffer = 512 * 1024;
-          } else {  // Android native YouTube app
-            pcfg.buffering_target_bytes = mb(knob_rng.uniform(4.0, 8.0));
-            pcfg.pull_quantum_bytes = mb(knob_rng.uniform(2.8, 6.0));
-            pcfg.accumulation_ratio = 1.24;
-            recv_buffer = 512 * 1024;
-          }
-          open_single_connection(recv_buffer, ServerPacing::bulk());
-          pull = std::make_unique<PullThrottleClient>(w.sim, conn->client(), pcfg, cell.sink());
-          conn->open();
-        }
-        break;
-      }
-      case Container::kSilverlight:
-        throw std::logic_error{"run_session: unreachable (YouTube/Silverlight)"};
-    }
-  } else {
-    // Netflix: Silverlight on PCs, native app on mobiles.
-    NetflixClient::Profile profile = NetflixClient::Profile::pc();
-    tcp::TcpOptions server_opts;
-    if (cfg.application == Application::kIosNative) {
-      profile = NetflixClient::Profile::ipad();
-    } else if (cfg.application == Application::kAndroidNative) {
-      profile = NetflixClient::Profile::android();
-      // The long idle OFF periods of the Android app exceed the server RTO;
-      // the CDN's RFC 5681 idle restart shows as an ack clock (Fig 9/§5.2.2).
-      server_opts.reset_cwnd_after_idle = true;
-    }
-    profile.adaptive = cfg.adaptive_bitrate;
-    fetches = std::make_unique<FetchManager>(w.sim, w.fabric, cfg.video,
-                                             client_options_with_buffer(512 * 1024), server_opts,
-                                             cfg.fetch_retry);
-    netflix = std::make_unique<NetflixClient>(w.sim, *fetches, cfg.video, profile,
-                                              cfg.network.down_bps, cell.sink());
-    // Bitrate downswitch on transport faults: a timed-out request is
-    // stronger evidence of congestion than any throughput sample.
-    NetflixClient* nf = netflix.get();
-    fetches->set_on_retry([nf](std::uint32_t attempt) { nf->on_fetch_retry(attempt); });
-    player_rate_bps = netflix->selected_rate_bps();
-    netflix->start();
-  }
-
-  // Player: consumes at the (selected) encoding rate, may interrupt.
-  PlayerConfig player_cfg;
-  player_cfg.encoding_bps = player_rate_bps;
-  player_cfg.duration_s = cfg.video.duration_s;
-  player_cfg.watch_fraction = cfg.watch_fraction;
-  Player player{w.sim, player_cfg};
-  cell.player = &player;
-  player.set_on_interrupt([&] {
-    if (server) server->stop();
-    if (greedy) greedy->stop();
-    if (pull) pull->stop();
-    if (ipad) ipad->stop();
-    if (netflix) netflix->stop();
-    if (fetches) fetches->stop();
-  });
+  // The instance owns the whole Table-1 application layer: server pacing,
+  // client read policy, player, auxiliary traffic. It takes the session
+  // stream by value after the world-level bandwidth fork, and forks
+  // "session-knobs"/"auxiliary"/"rate-estimate" in the historical order.
+  SessionInstance instance{w.sim, w.fabric, cfg, w.rng};
 
   w.sim.run_until(sim::SimTime::from_seconds(cfg.capture_duration_s));
 
   loop_monitor.stop();
-  if (auxiliary) auxiliary->stop();
+  instance.stop_auxiliary();
 
   // Flush episode spans truncated by the capture cutoff while their owners
   // are still alive; outstanding RAII handles become inert, so component
@@ -318,22 +191,7 @@ SessionResult run_session(const SessionConfig& cfg) {
     w.obs.metrics().gauge("obs.spans_truncated").set(static_cast<double>(truncated));
   }
 
-  // Fault/recovery accounting, gathered from every layer that participated:
-  // the fetch retry machinery, the player's rebuffer tracking, and the
-  // impaired downstream link.
-  analysis::ResilienceStats resilience;
-  if (fetches) {
-    resilience.fetch_retries = fetches->retries();
-    resilience.fetch_timeouts = fetches->timeouts();
-    resilience.fetch_abandoned = fetches->abandoned();
-  }
-  resilience.rebuffer_count = player.stats().rebuffer_count;
-  resilience.stall_count = player.stats().stall_count;
-  resilience.stall_time_s = player.stats().stall_time_s;
-  resilience.longest_stall_s = player.stats().longest_stall_s;
-  resilience.fault_drops = w.path->down().counters().dropped_fault;
-  resilience.fault_windows = w.path->down().counters().fault_windows;
-  if (netflix) resilience.rate_switches = netflix->rate_switches();
+  SessionOutcome outcome = instance.finalize();
 
   // Assemble the result the way the paper's pipeline would see it: the
   // capture, then the filter to the video CDN's connections (Section 2) —
@@ -350,14 +208,8 @@ SessionResult run_session(const SessionConfig& cfg) {
                   [](const capture::PacketRecord& p) { return p.host != 0; });
   }
 
-  result.encoding_bps_true = player_rate_bps;
-  const auto header = video::make_header(cfg.video);
-  sim::Rng noise_rng = w.rng.fork("rate-estimate");
-  const double noise = noise_rng.lognormal(0.0, 0.15);
-  result.encoding_bps_estimated =
-      cfg.service == Service::kNetflix
-          ? player_rate_bps
-          : video::resolve_encoding_rate(header, cfg.video.size_bytes(), noise);
+  result.encoding_bps_true = outcome.encoding_bps_true;
+  result.encoding_bps_estimated = outcome.encoding_bps_estimated;
   result.trace.encoding_bps = result.encoding_bps_estimated;
 
   if (live_report) {
@@ -366,18 +218,15 @@ SessionResult run_session(const SessionConfig& cfg) {
     live_report->set_label(result.trace.label);
     live_report->set_duration_s(cfg.capture_duration_s);
     live_report->set_encoding_bps(result.encoding_bps_estimated);
-    live_report->set_resilience(resilience);
+    live_report->set_resilience(outcome.resilience);
     result.report = live_report->finish();
     w.recorder.set_record_sink({});
   }
 
-  result.player = player.stats();
-  result.resilience = resilience;
-  result.interrupted_at_s = result.player.interrupted ? result.player.interrupted_at_s : 0.0;
-  if (greedy) result.bytes_downloaded = greedy->bytes_read();
-  if (pull) result.bytes_downloaded = pull->bytes_read();
-  if (ipad) result.bytes_downloaded = ipad->bytes_fetched();
-  if (netflix) result.bytes_downloaded = netflix->bytes_fetched();
+  result.player = outcome.player;
+  result.resilience = outcome.resilience;
+  result.interrupted_at_s = outcome.interrupted_at_s;
+  result.bytes_downloaded = outcome.bytes_downloaded;
   result.connections = cfg.store_trace ? result.video_trace().connection_count()
                                        : (result.report ? result.report->connections : 0);
   result.metrics = w.obs.metrics().snapshot();

@@ -1,13 +1,12 @@
-// Fluent construction of streaming sessions.
+// Fluent construction of streaming sessions — the N=1 case.
 //
 // `SessionConfig` stays a plain aggregate (brace-init keeps working and the
 // scenario catalog uses it), but sessions assembled in examples, benches,
-// and sweeps read better — and fail earlier — through the builder: named
-// chainable setters for every knob, and `build()` runs
-// `SessionConfig::validate()` so an impossible configuration (negative
-// duration, watch fraction outside (0,1], overlapping impairment windows,
-// a Table 1 "Not Applicable" combination) throws at construction time
-// instead of somewhere inside the simulation.
+// and sweeps read better — and fail earlier — through the builder. Every
+// chainable knob lives in `SessionConfigurator` (streaming/
+// topology_builder.hpp), shared verbatim with `TopologyBuilder`: this class
+// only decides what `build()` means — a validated private-world config —
+// so there is exactly one copy of the setters and one validate() path.
 //
 //   auto result = streaming::SessionBuilder{}
 //                     .service(streaming::Service::kNetflix)
@@ -19,110 +18,20 @@
 //                     .run();
 #pragma once
 
-#include "net/profile.hpp"
-#include "streaming/session.hpp"
+#include "streaming/topology_builder.hpp"
 
 namespace vstream::streaming {
 
-class SessionBuilder {
+class SessionBuilder : public SessionConfigurator<SessionBuilder> {
  public:
   SessionBuilder() = default;
   /// Start from an existing config (e.g. a catalog scenario) and override.
-  explicit SessionBuilder(SessionConfig base) : cfg_{std::move(base)} {}
-
-  SessionBuilder& service(Service s) {
-    cfg_.service = s;
-    return *this;
-  }
-  SessionBuilder& container(video::Container c) {
-    cfg_.container = c;
-    return *this;
-  }
-  SessionBuilder& application(Application a) {
-    cfg_.application = a;
-    return *this;
-  }
-  SessionBuilder& network(net::NetworkProfile p) {
-    cfg_.network = std::move(p);
-    return *this;
-  }
-  /// Convenience: the paper's four capture vantages (Table 2).
-  SessionBuilder& vantage(net::Vantage v) { return network(net::profile_for(v)); }
-  SessionBuilder& video(video::VideoMeta v) {
-    cfg_.video = std::move(v);
-    return *this;
-  }
-  SessionBuilder& capture_duration_s(double s) {
-    cfg_.capture_duration_s = s;
-    return *this;
-  }
-  /// Viewer abandons after this fraction of the video (beta, §6.2).
-  SessionBuilder& watch_fraction(double f) {
-    cfg_.watch_fraction = f;
-    return *this;
-  }
-  SessionBuilder& watch_to_end() {
-    cfg_.watch_fraction.reset();
-    return *this;
-  }
-  SessionBuilder& seed(std::uint64_t s) {
-    cfg_.seed = s;
-    return *this;
-  }
-  SessionBuilder& server_idle_cwnd_reset(bool on = true) {
-    cfg_.server_idle_cwnd_reset = on;
-    return *this;
-  }
-  SessionBuilder& bandwidth_jitter(double j) {
-    cfg_.bandwidth_jitter = j;
-    return *this;
-  }
-  SessionBuilder& auxiliary_traffic(bool on = true) {
-    cfg_.auxiliary_traffic = on;
-    return *this;
-  }
-  SessionBuilder& trace_sink(obs::TraceSink* sink) {
-    cfg_.trace_sink = sink;
-    return *this;
-  }
-  SessionBuilder& digest(check::StateDigest* d) {
-    cfg_.digest = d;
-    return *this;
-  }
-  /// Per-world allocator for the simulator's event machinery (non-owning;
-  /// single-threaded — never share between concurrent sessions).
-  SessionBuilder& arena(sim::ArenaResource* a) {
-    cfg_.arena = a;
-    return *this;
-  }
-  SessionBuilder& keep_full_trace(bool on = true) {
-    cfg_.keep_full_trace = on;
-    return *this;
-  }
-  SessionBuilder& store_trace(bool on = true) {
-    cfg_.store_trace = on;
-    return *this;
-  }
-  SessionBuilder& streaming_report(bool on = true) {
-    cfg_.streaming_report = on;
-    return *this;
-  }
-  /// Fault injection on the downstream access link (net/dynamics.hpp).
-  SessionBuilder& impairments(net::ImpairmentSchedule schedule) {
-    cfg_.impairments = std::move(schedule);
-    return *this;
-  }
-  SessionBuilder& fetch_retry(RetryPolicy policy) {
-    cfg_.fetch_retry = policy;
-    return *this;
-  }
-  SessionBuilder& adaptive_bitrate(bool on = true) {
-    cfg_.adaptive_bitrate = on;
-    return *this;
-  }
+  explicit SessionBuilder(SessionConfig base) : SessionConfigurator{std::move(base)} {}
 
   /// Validate and hand out the config. Throws std::invalid_argument on an
-  /// impossible configuration.
+  /// impossible configuration (negative duration, watch fraction outside
+  /// (0,1], overlapping impairment windows, a Table 1 "Not Applicable"
+  /// combination).
   [[nodiscard]] SessionConfig build() const {
     cfg_.validate();
     return cfg_;
@@ -130,9 +39,6 @@ class SessionBuilder {
 
   /// Validate and run in one step.
   [[nodiscard]] SessionResult run() const { return run_session(build()); }
-
- private:
-  SessionConfig cfg_;
 };
 
 }  // namespace vstream::streaming

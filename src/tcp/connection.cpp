@@ -11,13 +11,16 @@ Connection::Connection(sim::Simulator& sim, net::Path& path, std::uint64_t id,
   client_ = std::make_unique<Endpoint>(sim, id, client_options, "client#" + std::to_string(id));
   server_ = std::make_unique<Endpoint>(sim, id, server_options, "server#" + std::to_string(id));
 
-  // Client transmits on the up link, server on the down link.
+  // Client transmits on the up link, server on the path's data ingress —
+  // the down link itself on a private path, the shared bottleneck link in
+  // a multi-session topology (net/bottleneck.hpp).
   client_->attach(path.up(), client_to_server, server_to_client);
-  server_->attach(path.down(), server_to_client, client_to_server);
+  server_->attach(path.down_ingress(), server_to_client, client_to_server);
   server_->listen();
 }
 
-Fabric::Fabric(sim::Simulator& sim, net::Path& path) : sim_{sim}, path_{path} {
+Fabric::Fabric(sim::Simulator& sim, net::Path& path, std::uint64_t first_id)
+    : sim_{sim}, path_{path}, next_id_{first_id} {
   path_.down().set_receiver([this](const net::TcpSegment& s) {
     const auto it = connections_.find(s.connection_id);
     if (it != connections_.end()) it->second->client().on_segment(s);

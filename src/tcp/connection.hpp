@@ -39,7 +39,12 @@ class Connection {
 /// so they contend for the same bottleneck.
 class Fabric {
  public:
-  Fabric(sim::Simulator& sim, net::Path& path);
+  /// `first_id` seeds the connection-id counter. A private path keeps the
+  /// default 1; a shared-bottleneck topology passes
+  /// `SharedBottleneck::first_connection_id(client)` so every id carries
+  /// the client index in its high 32 bits and the bottleneck router can
+  /// demultiplex segments back to the right access leg.
+  Fabric(sim::Simulator& sim, net::Path& path, std::uint64_t first_id = 1);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;

@@ -22,6 +22,12 @@
 //   ./build/tools/determinism_audit --shards 3     # streamed sweep digest:
 //                                                  # serial == parallel ==
 //                                                  # sharded merge, bit-equal
+//   ./build/tools/determinism_audit --topology     # multi-session worlds:
+//                                                  # twin topologies bit-equal
+//                                                  # across every arrival
+//                                                  # process, and the sharded
+//                                                  # topology sweep digest is
+//                                                  # worker-count invariant
 //
 // Exit status: 0 when every twin run agrees (and the canary diverges as
 // designed); 1 on any divergence (or a canary the audit failed to catch).
@@ -31,11 +37,16 @@
 #include <iterator>
 #include <vector>
 
+#include <algorithm>
+#include <string>
+
 #include "obs/trace.hpp"
 #include "runner/parallel_sweep.hpp"
 #include "runner/session_sweep.hpp"
+#include "runner/topology_sweep.hpp"
 #include "sim/determinism_canary.hpp"
 #include "streaming/scenarios.hpp"
+#include "streaming/topology_builder.hpp"
 
 namespace {
 
@@ -148,16 +159,151 @@ int run_shard_audit(double seconds, std::size_t shards) {
   return ok ? 0 : 1;
 }
 
+/// One named multi-session world for the topology audit.
+struct NamedTopology {
+  std::string name;
+  vstream::streaming::TopologyConfig config;
+};
+
+/// Topology audit catalog: every arrival process, plus the world-level
+/// machinery most likely to smoke out nondeterminism — cross-traffic
+/// injection, shared-link impairments, random loss — each of which
+/// reschedules events against dozens of contending sessions.
+std::vector<NamedTopology> topology_catalog(double seconds) {
+  using namespace vstream;
+  const double horizon = std::clamp(seconds, 10.0, 60.0);
+  const auto base = [horizon](std::uint64_t seed) {
+    video::VideoMeta meta;
+    meta.id = "audit";
+    meta.duration_s = 8.0;
+    meta.encoding_bps = 100e3;
+    meta.container = video::Container::kFlashHd;
+    streaming::TopologyBuilder b;
+    b.container(video::Container::kFlashHd)
+        .vantage(net::Vantage::kResidence)
+        .video(meta)
+        .sessions(48)
+        .bottleneck_rate_bps(30e6)
+        .horizon_s(horizon)
+        .sample_window_s(0.1)
+        .seed(seed);
+    return b;
+  };
+  const auto vary = [](std::size_t, sim::Rng& rng, streaming::SessionConfig& cfg) {
+    cfg.video.encoding_bps = rng.uniform(60e3, 140e3);
+    cfg.video.duration_s = rng.uniform(4.0, 10.0);
+  };
+
+  std::vector<NamedTopology> catalog;
+  catalog.push_back({"topology/poisson-churn",
+                     base(401)
+                         .workload(streaming::WorkloadBuilder{}.poisson(4.0).customize(vary).build())
+                         .build()});
+  catalog.push_back({"topology/flash-crowd",
+                     base(402)
+                         .workload(streaming::WorkloadBuilder{}
+                                       .flash_crowd(/*spread_s=*/3.0, /*start_s=*/1.0)
+                                       .customize(vary)
+                                       .build())
+                         .build()});
+  catalog.push_back({"topology/diurnal",
+                     base(403)
+                         .workload(streaming::WorkloadBuilder{}
+                                       .diurnal(/*rate_per_s=*/4.0, /*period_s=*/20.0)
+                                       .customize(vary)
+                                       .build())
+                         .build()});
+  {
+    net::CrossTraffic::Config cross;
+    cross.mean_rate_bps = 8e6;
+    catalog.push_back({"topology/cross-traffic",
+                       base(404)
+                           .workload(streaming::WorkloadBuilder{}.poisson(4.0).customize(vary).build())
+                           .cross_traffic(cross)
+                           .build()});
+  }
+  catalog.push_back({"topology/bottleneck-loss",
+                     base(405)
+                         .workload(streaming::WorkloadBuilder{}.poisson(4.0).customize(vary).build())
+                         .bottleneck_loss(/*rate=*/0.005, /*burst_len=*/2.0)
+                         .build()});
+  return catalog;
+}
+
+/// Topology audit: twin fingerprints per catalog world (same seed ->
+/// bit-equal; reseeded -> must move), then the streamed topology sweep run
+/// serially, pooled, and as a 3-shard merge — all three sweep digests must
+/// agree bit-for-bit, the same bar run_shard_audit holds session sweeps to.
+int run_topology_audit(double seconds) {
+  using namespace vstream;
+  const auto catalog = topology_catalog(seconds);
+  int divergent = 0;
+  for (const auto& entry : catalog) {
+    const auto first = streaming::fingerprint_topology(entry.config);
+    const auto second = streaming::fingerprint_topology(entry.config);
+    auto reseeded_cfg = entry.config;
+    reseeded_cfg.seed += 1;
+    const auto reseeded = streaming::fingerprint_topology(reseeded_cfg);
+    const bool same = first == second;
+    const bool moved = reseeded.digest != first.digest;
+    std::printf("%-40s %016llx twin:%s reseed:%s\n", entry.name.c_str(),
+                static_cast<unsigned long long>(first.digest), same ? "ok" : "DIVERGED",
+                moved ? "moved" : "STUCK");
+    if (!same || !moved) ++divergent;
+  }
+
+  // Streamed sweep: 12 worlds derived from the catalog by reseeding.
+  const auto base_catalog = topology_catalog(seconds);
+  const auto make = [&base_catalog](std::size_t g) {
+    auto cfg = base_catalog[g % base_catalog.size()].config;
+    cfg.seed += 1000 + g;
+    return cfg;
+  };
+  constexpr std::size_t kWorlds = 12;
+  const auto serial =
+      runner::run_topologies_streamed(runner::ParallelSweep{1}, 0, kWorlds, make);
+  const auto parallel =
+      runner::run_topologies_streamed(runner::ParallelSweep{4}, 0, kWorlds, make);
+  runner::TopologyAccumulator merged;
+  constexpr std::size_t kShards = 3;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::size_t first_idx = kWorlds * s / kShards;
+    const std::size_t count = kWorlds * (s + 1) / kShards - first_idx;
+    merged.merge(
+        runner::run_topologies_streamed(runner::ParallelSweep{2}, first_idx, count, make));
+  }
+  std::printf("serial   sweep digest %016llx over %llu worlds\n",
+              static_cast<unsigned long long>(serial.digest.combined),
+              static_cast<unsigned long long>(serial.worlds));
+  std::printf("parallel sweep digest %016llx over %llu worlds\n",
+              static_cast<unsigned long long>(parallel.digest.combined),
+              static_cast<unsigned long long>(parallel.worlds));
+  std::printf("sharded  sweep digest %016llx over %llu worlds (%zu shards)\n",
+              static_cast<unsigned long long>(merged.digest.combined),
+              static_cast<unsigned long long>(merged.worlds), kShards);
+  const bool sweep_ok = serial.digest == parallel.digest && serial.digest == merged.digest &&
+                        serial.sessions_started == merged.sessions_started &&
+                        serial.bytes_downloaded == merged.bytes_downloaded &&
+                        serial.sim_events == merged.sim_events;
+  if (!sweep_ok) ++divergent;
+  std::printf("%zu topology worlds + %zu-world sweep, %d divergent: %s\n", catalog.size(),
+              kWorlds, divergent, divergent == 0 ? "ok" : "DIVERGED");
+  return divergent == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double seconds = 180.0;
   bool canary = false;
+  bool topology = false;
   std::size_t jobs = 0;
   std::size_t shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--canary") == 0) {
       canary = true;
+    } else if (std::strcmp(argv[i], "--topology") == 0) {
+      topology = true;
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -166,11 +312,13 @@ int main(int argc, char** argv) {
       shards = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: determinism_audit [--seconds N] [--canary] [--jobs N] [--shards N]\n");
+                   "usage: determinism_audit [--seconds N] [--canary] [--topology] "
+                   "[--jobs N] [--shards N]\n");
       return 2;
     }
   }
   if (canary) return run_canary();
+  if (topology) return run_topology_audit(seconds);
   if (shards > 0) return run_shard_audit(seconds, shards);
   if (jobs > 0) return run_parallel_audit(seconds, jobs);
 

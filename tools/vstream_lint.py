@@ -54,6 +54,13 @@ Rules (all scoped to C++ sources):
                nanosleep. A sleeping profiler would skew the very phase
                timings it reports and stall the worker it runs on.
                Scope: ONLY src/runner/sweep_profiler.hpp/.cpp.
+  run-session  no direct streaming::run_session calls in examples/ — example
+               scenarios go through the builder APIs (TopologyBuilder for
+               multi-session worlds, SessionBuilder for one private world),
+               which validate before running. The documented legacy
+               single-session entry points (DESIGN.md §15) are exempt:
+               examples/quickstart.cpp and examples/strategy_explorer.cpp.
+               Scope: examples/ only.
 
 Waivers: append `// vstream-lint: allow(<rule>): <reason>` to the offending
 line, or put `// vstream-lint-file: allow(<rule>): <reason>` anywhere in the
@@ -146,6 +153,12 @@ RULES = {
         "the sweep profiler reads the clock but must never sleep on it",
         ("src",),
     ),
+    "run-session": (
+        re.compile(r"\brun_session\s*\("),
+        "direct run_session in examples/; use TopologyBuilder / SessionBuilder — the documented "
+        "legacy single-session entry points are quickstart.cpp and strategy_explorer.cpp",
+        ("examples",),
+    ),
 }
 
 # rule -> path prefixes (relative to the repo root) where it does not apply.
@@ -163,6 +176,14 @@ RULE_EXEMPT_PREFIXES = {
     "wall-clock": (
         ("src", "runner", "sweep_profiler.hpp"),
         ("src", "runner", "sweep_profiler.cpp"),
+    ),
+    # The two documented legacy single-session entry points (DESIGN.md §15):
+    # quickstart is the canonical smallest private-world example, and
+    # strategy_explorer's single-run mode feeds one traced world to the
+    # analysis stack. Everything else in examples/ goes through builders.
+    "run-session": (
+        ("examples", "quickstart.cpp"),
+        ("examples", "strategy_explorer.cpp"),
     ),
 }
 
